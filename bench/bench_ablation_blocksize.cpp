@@ -1,0 +1,40 @@
+// Ablation (DESIGN.md §5): the block size k / preserved outliers n design
+// space. Sweeps MX-OPAL over k in {32..512} x n in {0..8} on LLM-like
+// activations, reporting quantization MSE against the Eq. (1) memory
+// overhead — the tradeoff behind the paper's choice of k=128, n=4.
+#include <cstdio>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "quant/mx_opal.h"
+#include "quant/mxint.h"
+
+int main() {
+  using namespace opal;
+  const int bits = 4;
+  ActivationModel acts(42, 4096, 0.01f);
+  Matrix data = acts.sample_matrix(16);
+
+  std::printf("=== Ablation: block size k and preserved outliers n "
+              "(MX-OPAL%d) ===\n", bits);
+  std::printf("%6s %4s %14s %10s\n", "k", "n", "MSE", "OMEM");
+  std::vector<float> out(data.size());
+  for (const std::size_t k : {32u, 64u, 128u, 256u, 512u}) {
+    for (const std::size_t n : {0u, 1u, 2u, 4u, 8u}) {
+      if (n >= k) continue;
+      const MxOpalQuantizer quant(k, bits, n);
+      quant.quantize_dequantize(data.flat(), out);
+      std::printf("%6zu %4zu %14.8f %10.3f\n", static_cast<std::size_t>(k),
+                  static_cast<std::size_t>(n), mse(data.flat(), out),
+                  mx_opal_memory_overhead(k, n, bits));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("Takeaway: larger blocks amortize scale storage but see more "
+              "outliers per block; n=4 at k=128 buys most of the MSE "
+              "reduction for ~9%% overhead at b=4 — the paper's operating "
+              "point.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Fig 4 reproduction: relative MSE (normalized to the MinMax baseline) of
+// MXINT and MX-OPAL at n = 1, 2, 4, 8 preserved outliers, measured on the
+// activations of a decoder block of the Llama2-7B-eval model at b = 8 and
+// b = 4, for the six sites Query/Key/Value/Proj/fc1/fc2. Also prints the
+// Eq. (1) memory-overhead table shown in the Fig 4 insets.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "eval/mse_analysis.h"
+#include "quant/minmax.h"
+#include "quant/mx_opal.h"
+#include "quant/mxint.h"
+
+namespace {
+
+void run_panel(const opal::SiteCapture& capture, int bits) {
+  using namespace opal;
+  std::printf("--- b = %d (sign + mantissa bits) ---\n", bits);
+  std::printf("%-16s %7s %7s %7s %7s %7s %7s %8s\n", "Quantizer", "Query",
+              "Key", "Value", "Proj", "fc1", "fc2", "Avg");
+
+  const MinMaxQuantizer baseline(128, bits);
+  std::vector<std::pair<std::string, std::unique_ptr<Quantizer>>> quants;
+  quants.emplace_back("MXINT",
+                      std::make_unique<MxIntQuantizer>(128, bits));
+  for (const std::size_t n : {1u, 2u, 4u, 8u}) {
+    quants.emplace_back("MX-OPAL (n=" + std::to_string(n) + ")",
+                        std::make_unique<MxOpalQuantizer>(128, bits, n));
+  }
+
+  for (const auto& [name, quant] : quants) {
+    const auto series =
+        relative_mse_series(capture, *quant, baseline, name);
+    std::printf("%-16s", name.c_str());
+    for (const double v : series.per_site) std::printf(" %7.3f", v);
+    std::printf(" %8.3f\n", series.average);
+  }
+  std::printf("(MinMax baseline = 1.0 by definition)\n");
+
+  std::printf("OMEM (Eq. 1):");
+  for (const std::size_t n : {1u, 2u, 4u, 8u}) {
+    std::printf("  n=%zu: %.3f", static_cast<std::size_t>(n),
+                mx_opal_memory_overhead(128, n, bits));
+  }
+  std::printf("\n\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace opal;
+  std::printf("=== Fig 4: impact of preserving outliers on quantization "
+              "noise ===\n");
+  SyntheticModel model(scaled_for_eval(llama2_7b(), 256, 3, 128), 20, 0.02f);
+  calibrate_logit_scale(model, 24, 5);
+  // The paper uses the 20th block of 32; we capture the last block of the
+  // scaled model (deepest available).
+  const auto capture = capture_layer_activations(
+      model, model.config().n_layers - 1, 48, 4);
+
+  run_panel(capture, 8);
+  run_panel(capture, 4);
+
+  std::printf("Paper reference: MXINT averages 3.79x (b=8) and 8.21x (b=4) "
+              "the MinMax MSE; MX-OPAL reaches ~1x at n=4, with OMEM 1.027 "
+              "(b=8) and 1.092 (b=4).\n");
+  return 0;
+}

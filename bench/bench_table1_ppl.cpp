@@ -1,0 +1,71 @@
+// Table 1 reproduction: perplexity of the four evaluation models under the
+// nine quantization schemes, via the teacher-student proxy (DESIGN.md §2).
+// Each model column uses the scaled-down preset of the named architecture;
+// the BF16 engine is the teacher whose sampled stream plays WikiText-2.
+#include <cstdio>
+#include <vector>
+
+#include "eval/perplexity.h"
+#include "eval/schemes.h"
+
+namespace {
+
+struct ModelRun {
+  std::string name;
+  std::vector<double> ppl;  // one per scheme
+};
+
+ModelRun run_model(const opal::ModelConfig& full, std::uint64_t seed) {
+  using namespace opal;
+  const auto cfg = scaled_for_eval(full, 128, 3, 256);
+  SyntheticModel model(cfg, seed, 0.02f);
+  calibrate_logit_scale(model, 24, seed + 1);
+  const auto calibration = calibrate_model(model, 48, seed + 2);
+
+  const std::size_t n_tokens = 320;
+  EngineConfig teacher_cfg;
+  teacher_cfg.max_seq_len = n_tokens + 2;
+  InferenceEngine teacher(model, teacher_cfg);
+  const auto tokens = generate_stream(teacher, n_tokens, seed + 3);
+
+  ModelRun run;
+  run.name = full.name;
+  for (const auto& scheme : table1_schemes()) {
+    EngineConfig engine_cfg = scheme.config;
+    engine_cfg.max_seq_len = n_tokens + 2;
+    InferenceEngine engine(model, engine_cfg, &calibration);
+    run.ppl.push_back(evaluate_perplexity(engine, tokens));
+  }
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  using namespace opal;
+  std::printf("=== Table 1: perplexity (teacher-student proxy) on scaled "
+              "models ===\n");
+
+  const std::vector<ModelConfig> models = {llama2_7b(), llama2_13b(),
+                                           opt_6_7b(), opt_13b()};
+  std::vector<ModelRun> runs;
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    runs.push_back(run_model(models[i], 100 + 17 * i));
+  }
+
+  std::printf("%-20s", "Scheme");
+  for (const auto& run : runs) std::printf(" %12s", run.name.c_str());
+  std::printf("\n");
+  const auto schemes = table1_schemes();
+  for (std::size_t s = 0; s < schemes.size(); ++s) {
+    std::printf("%-20s", schemes[s].label.c_str());
+    for (const auto& run : runs) std::printf(" %12.3f", run.ppl[s]);
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nPaper reference (shape): MX-OPAL tracks the BF16 baseline within "
+      "~1 PPL at W4A4/7; the W3A3/5 MinMax rows blow up (32.7/10.8/28.7/"
+      "95.8 on the real models) while W3A3/5 MX-OPAL stays close.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Device-level model: one accelerator (core + on-chip buffers + DRAM
+// interface) generating tokens for a full-scale LLM — the Fig 8 harness.
+//
+// Three device families are modeled:
+//   * BF16  — bfloat16 weights and activations on an iso-throughput array of
+//             BF16 MAC units with a conventional softmax unit.
+//   * OWQ   — OWQ INT3/4 weights (shrinking the weight buffer and weight
+//             traffic) but BF16 activations and BF16 compute, per the paper.
+//   * OPAL  — OWQ weights + MX-OPAL activations on the OPAL core.
+//
+// Per-token latency is the sum over ops of max(compute time, DRAM streaming
+// time); energy splits into the Fig 8 components: core energy, memory access
+// energy (DRAM + global buffer dynamic), weight-buffer leakage, and
+// activation-buffer leakage (both scale with per-token latency).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "accel/core.h"
+#include "accel/sram.h"
+#include "accel/workload.h"
+#include "llm/model_config.h"
+
+namespace opal {
+
+enum class DeviceKind : std::uint8_t { kBF16, kOWQ, kOpal };
+
+struct DeviceConfig {
+  std::string name;
+  DeviceKind kind = DeviceKind::kOpal;
+  CoreConfig core;  // meaningful for kOpal; baselines derive their array
+  /// Cores (or baseline arrays) working on disjoint output-row tiles of
+  /// each MxV. Compute time divides by n_cores; MAC energy and total core
+  /// area multiply accordingly. DRAM streaming is shared.
+  std::size_t n_cores = 1;
+  TechParams tech;
+  SramParams sram;
+  DramModel dram;
+
+  int weight_bits = 4;
+  /// Extra weight-storage factor for OWQ bf16 columns and per-group scales
+  /// (e.g. 4.25/4 effective bits at W4).
+  double weight_bits_overhead = 0.25;
+  ActBits act;
+  bool log2_softmax = true;
+  bool quantize_acts = true;
+  double act_outlier_fraction = 4.0 / 128.0;  // n/k
+  double weight_fp_fraction = 0.0025;
+
+  /// On-chip buffer sizing: element capacities are fixed across devices so
+  /// byte sizes scale with precision, which is the mechanism behind the
+  /// paper's buffer-leakage savings.
+  std::size_t weight_buffer_elements = 512 * 1024;
+  std::size_t act_buffer_elements = 600 * 1024;
+
+  [[nodiscard]] std::size_t weight_buffer_bytes() const;
+  [[nodiscard]] std::size_t act_buffer_bytes() const;
+
+  /// Baseline BF16 MAC array sized for parity with the OPAL core's average
+  /// throughput (512 units).
+  std::size_t baseline_fp_units = 512;
+};
+
+/// The four devices of Fig 8.
+[[nodiscard]] DeviceConfig make_bf16_device();
+[[nodiscard]] DeviceConfig make_owq_device(int weight_bits = 4);
+[[nodiscard]] DeviceConfig make_opal_device(int low_bits, int high_bits,
+                                            int weight_bits);
+
+/// Fig 8(a) bar: per-token energy decomposition plus latency.
+struct TokenReport {
+  std::string device;
+  double latency_s = 0.0;
+  double core_energy_j = 0.0;
+  double mem_access_j = 0.0;     // DRAM + buffer dynamic
+  double weight_leak_j = 0.0;
+  double act_leak_j = 0.0;
+  std::size_t total_macs = 0;
+  double int_mac_fraction = 0.0;  // fraction of MACs on INT units
+
+  [[nodiscard]] double total_j() const {
+    return core_energy_j + mem_access_j + weight_leak_j + act_leak_j;
+  }
+};
+
+/// Fig 8(b) bar: compute-core area of all n_cores (the paper's area
+/// comparison excludes the buffers, whose size is an independent design
+/// choice).
+[[nodiscard]] double device_core_area_mm2(const DeviceConfig& device);
+
+/// Simulates generating one token at KV length `seq_len`.
+[[nodiscard]] TokenReport simulate_token(const DeviceConfig& device,
+                                         const ModelConfig& model,
+                                         std::size_t seq_len);
+
+/// One scheduled operation of a token, for bottleneck analysis.
+struct OpTraceEntry {
+  std::string name;
+  OpKind kind = OpKind::kWeightMxv;
+  double latency_s = 0.0;
+  double dram_bytes = 0.0;
+  double core_energy_j = 0.0;
+  bool dram_bound = false;
+};
+
+/// Per-op trace of one token (same model as simulate_token).
+[[nodiscard]] std::vector<OpTraceEntry> trace_token(
+    const DeviceConfig& device, const ModelConfig& model,
+    std::size_t seq_len);
+
+/// Simulates prefilling a `prompt_len`-token prompt (weights streamed once,
+/// reused across positions — compute-bound, unlike decode).
+[[nodiscard]] TokenReport simulate_prefill(const DeviceConfig& device,
+                                           const ModelConfig& model,
+                                           std::size_t prompt_len);
+
+/// Average per-token report over a decode of `n_tokens` starting from
+/// `prompt_len` (KV length grows by one each step).
+[[nodiscard]] TokenReport simulate_generation(const DeviceConfig& device,
+                                              const ModelConfig& model,
+                                              std::size_t prompt_len,
+                                              std::size_t n_tokens);
+
+}  // namespace opal

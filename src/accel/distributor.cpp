@@ -1,0 +1,39 @@
+#include "accel/distributor.h"
+
+#include <algorithm>
+
+namespace opal {
+
+RoutedBlock route_block(const QuantizedBlock& block, std::size_t base_col,
+                        std::span<const std::size_t> fp_weight_cols) {
+  RoutedBlock routed;
+  std::vector<bool> is_outlier(block.codes.size(), false);
+  for (const auto& outlier : block.outliers) {
+    is_outlier[outlier.index] = true;
+  }
+  for (std::size_t i = 0; i < block.codes.size(); ++i) {
+    const bool fp_weight = std::binary_search(
+        fp_weight_cols.begin(), fp_weight_cols.end(), base_col + i);
+    if (is_outlier[i] || fp_weight) {
+      routed.fp_positions.push_back(i);
+    } else {
+      routed.int_positions.push_back(i);
+    }
+  }
+  return routed;
+}
+
+RoutingStats route_tensor(const QuantizedTensor& qt,
+                          std::span<const std::size_t> fp_weight_cols) {
+  RoutingStats stats;
+  std::size_t base = 0;
+  for (const auto& block : qt.blocks) {
+    const auto routed = route_block(block, base, fp_weight_cols);
+    stats.int_products += routed.int_positions.size();
+    stats.fp_products += routed.fp_positions.size();
+    base += block.codes.size();
+  }
+  return stats;
+}
+
+}  // namespace opal

@@ -1,0 +1,78 @@
+#include "accel/int_mu.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "common/tensor.h"
+
+namespace opal {
+
+std::string to_string(MuMode mode) {
+  switch (mode) {
+    case MuMode::kLowLow:
+      return "low-low";
+    case MuMode::kLowHigh:
+      return "low-high";
+    case MuMode::kHighHigh:
+      return "high-high";
+  }
+  return "?";
+}
+
+std::size_t mu_throughput(MuMode mode) {
+  switch (mode) {
+    case MuMode::kLowLow:
+      return 4;
+    case MuMode::kLowHigh:
+      return 2;
+    case MuMode::kHighHigh:
+      return 1;
+  }
+  return 1;
+}
+
+MuMode mode_for(int weight_bits, int act_bits, int low_bits) {
+  const bool w_low = weight_bits <= low_bits;
+  const bool a_low = act_bits <= low_bits;
+  if (w_low && a_low) return MuMode::kLowLow;
+  if (w_low || a_low) return MuMode::kLowHigh;
+  return MuMode::kHighHigh;
+}
+
+std::int32_t composed_multiply(std::int16_t a, std::int16_t b, int a_bits,
+                               int b_bits, int low_bits) {
+  require(low_bits >= 2, "composed_multiply: low_bits >= 2");
+  require(a_bits >= low_bits && b_bits >= low_bits,
+          "composed_multiply: operand widths below array width");
+  const int digit = low_bits - 1;  // magnitude bits of one low multiplier
+
+  // Sign-magnitude decomposition: the sign XOR is free (Fig 7's '*').
+  const int sign = ((a < 0) ^ (b < 0)) ? -1 : 1;
+  const std::uint32_t ma = static_cast<std::uint32_t>(std::abs(a));
+  const std::uint32_t mb = static_cast<std::uint32_t>(std::abs(b));
+
+  auto split = [digit](std::uint32_t m, int bits) {
+    std::vector<std::uint32_t> digits;
+    const int n = (bits - 1 + digit - 1) / digit;
+    for (int i = 0; i < n; ++i) {
+      digits.push_back((m >> (i * digit)) & ((1u << digit) - 1));
+    }
+    return digits;
+  };
+  const auto da = split(ma, a_bits);
+  const auto db = split(mb, b_bits);
+
+  // Each (digit x digit) product runs on one low-bit multiplier; the adder
+  // stage recombines them with shift-by-(low_bits-1) multiples.
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    for (std::size_t j = 0; j < db.size(); ++j) {
+      acc += static_cast<std::uint64_t>(da[i]) * db[j]
+             << (digit * static_cast<int>(i + j));
+    }
+  }
+  return sign * static_cast<std::int32_t>(acc);
+}
+
+}  // namespace opal

@@ -1,0 +1,60 @@
+#include "accel/lane.h"
+
+#include "common/bfloat16.h"
+#include "common/float_bits.h"
+#include "common/tensor.h"
+
+namespace opal {
+
+LaneBlockResult lane_block_dot(const QuantizedBlock& block, int block_scale,
+                               int act_bits, std::span<const float> w_row,
+                               const RoutedBlock& routed) {
+  require(w_row.size() == block.codes.size(),
+          "lane_block_dot: weight segment size mismatch");
+  LaneBlockResult result;
+
+  // INT path: integer MACs against the activation codes; the shared scale
+  // is applied once at the Int-to-FP stage.
+  double int_acc = 0.0;
+  for (const std::size_t i : routed.int_positions) {
+    if (block.codes[i] == 0) continue;
+    // w_row[i] is itself code * scale; the product code_a * w is exact in
+    // double, mirroring the INT multiplier + scale recombination.
+    int_acc += static_cast<double>(block.codes[i]) * w_row[i];
+  }
+  result.int_products = routed.int_positions.size();
+  const float step =
+      exp2i(block_scale - (act_bits - 2));  // Int-to-FP shared scale
+  float value = static_cast<float>(int_acc) * step;
+
+  // FP path: bf16 outlier values times weights, accumulated in FP.
+  float fp_acc = 0.0f;
+  for (const std::size_t i : routed.fp_positions) {
+    float a;
+    // Outlier positions carry their bf16 value; non-outlier positions that
+    // were routed to FP because of a bf16 weight column use the dequantized
+    // code value.
+    a = dequantize_code(block.codes[i], block_scale, act_bits);
+    for (const auto& outlier : block.outliers) {
+      if (outlier.index == i) {
+        a = outlier.value.to_float();
+        break;
+      }
+    }
+    fp_acc += to_bf16(a * w_row[i]);
+  }
+  result.fp_products = routed.fp_positions.size();
+
+  result.value = value + fp_acc;
+  return result;
+}
+
+std::size_t lane_cycles(std::size_t n_blocks, std::size_t block_size,
+                        MuMode mode, const CoreConfig& config) {
+  const std::size_t products = n_blocks * block_size;
+  const std::size_t per_cycle =
+      config.mus_per_lane * mu_throughput(mode);
+  return (products + per_cycle - 1) / per_cycle;
+}
+
+}  // namespace opal

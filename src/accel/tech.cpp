@@ -1,0 +1,70 @@
+#include "accel/tech.h"
+
+namespace opal {
+
+double TechParams::int_mac_energy_pj(int b_lo, int b_hi,
+                                     int macs_per_cycle) const {
+  // One MU burns int_mu_power mW regardless of mode; energy per MAC is the
+  // per-cycle energy divided by the MACs it retires that cycle.
+  const double mu_power_mw =
+      int_mu_power_per_bit2 * static_cast<double>(b_lo) * b_hi;
+  const double energy_per_cycle_pj = mu_power_mw / clock_ghz;  // mW/GHz = pJ
+  return energy_per_cycle_pj / static_cast<double>(macs_per_cycle);
+}
+
+double TechParams::fp_mac_energy_pj() const {
+  return fp_unit_power / clock_ghz;
+}
+
+double CoreCost::total_area_um2() const {
+  return lanes.area_um2 + distributors.area_um2 + softmax.area_um2 +
+         quantizer.area_um2 + fp_adder_tree.area_um2;
+}
+
+double CoreCost::total_power_mw() const {
+  return lanes.power_mw + distributors.power_mw + softmax.power_mw +
+         quantizer.power_mw + fp_adder_tree.power_mw;
+}
+
+CoreCost core_cost(const CoreConfig& config, const TechParams& tech) {
+  CoreCost cost;
+  const double n_lanes = static_cast<double>(config.lanes);
+  const double bit2 =
+      static_cast<double>(config.low_bits) * config.high_bits;
+
+  const double mu_area = tech.int_mu_area_per_bit2 * bit2;
+  const double mu_power = tech.int_mu_power_per_bit2 * bit2;
+  const double lane_area =
+      static_cast<double>(config.mus_per_lane) * mu_area +
+      static_cast<double>(config.fp_units_per_lane) * tech.fp_unit_area +
+      tech.int_adder_tree_area + tech.int_to_fp_area;
+  const double lane_power =
+      static_cast<double>(config.mus_per_lane) * mu_power +
+      static_cast<double>(config.fp_units_per_lane) * tech.fp_unit_power +
+      tech.int_adder_tree_power + tech.int_to_fp_power;
+
+  cost.lanes = {"Compute Lanes", n_lanes * lane_area, n_lanes * lane_power};
+  cost.distributors = {"Data distributors", n_lanes * tech.distributor_area,
+                       n_lanes * tech.distributor_power};
+  cost.softmax = {"Log2-based Softmax Unit", tech.log2_softmax_area,
+                  tech.log2_softmax_power};
+  cost.quantizer = {"MX-OPAL Quantizer", tech.mx_quantizer_area,
+                    tech.mx_quantizer_power};
+  cost.fp_adder_tree = {"FP Adder Tree", tech.fp_adder_tree_area,
+                        tech.fp_adder_tree_power};
+  return cost;
+}
+
+BlockCost conventional_softmax_cost(const TechParams& tech) {
+  return {"Conventional Softmax Unit",
+          tech.log2_softmax_area / (1.0 - tech.softmax_area_saving),
+          tech.log2_softmax_power / (1.0 - tech.softmax_power_saving)};
+}
+
+BlockCost minmax_quantizer_cost(const TechParams& tech) {
+  return {"MinMax (divider) Quantizer",
+          tech.mx_quantizer_area * tech.divider_quantizer_factor,
+          tech.mx_quantizer_power * tech.divider_quantizer_factor};
+}
+
+}  // namespace opal

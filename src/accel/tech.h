@@ -1,0 +1,125 @@
+// 65 nm component library for the OPAL hardware model.
+//
+// The paper reports Synopsys DC synthesis results (65 nm CMOS) only at the
+// granularity of Table 3 (per-block area/power of one W4A4/7 core), plus two
+// relative numbers for the softmax unit (-32.3% area / -35.7% power vs a
+// conventional unit). This library keeps *per-component* constants chosen so
+// the Table 3 aggregates emerge from the paper's component counts (8 lanes x
+// {32 INT MUs, 4 FP units, adder tree, Int-to-FP}, 8 distributors, 1 softmax
+// unit, 1 quantizer, 1 FP adder tree); everything else in the repo consumes
+// only the aggregates, so all *relative* energy/area results are
+// model-derived rather than hard-coded.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace opal {
+
+/// Operating point of the synthesized core.
+struct TechParams {
+  double clock_ghz = 1.0;  // nominal synthesis clock
+
+  // INT multiply unit: one reconfigurable MU = 4 multipliers supporting
+  // {low-low, low-high, high-high} modes. Area/power scale with the
+  // product of the two supported operand widths (Booth array area).
+  double int_mu_area_per_bit2 = 64.286;   // um^2 per (b_lo * b_hi)
+  double int_mu_power_per_bit2 = 0.01964; // mW per (b_lo * b_hi)
+
+  // BF16 FP unit (multiplier + accumulation into the lane's FP path).
+  double fp_unit_area = 4200.0;   // um^2
+  double fp_unit_power = 1.9;     // mW
+
+  // Per-lane INT adder tree (reduces 128 products) and Int-to-FP converter.
+  double int_adder_tree_area = 7000.0;
+  double int_adder_tree_power = 2.8;
+  double int_to_fp_area = 2366.0;
+  double int_to_fp_power = 0.7;
+
+  // Data distributor (per lane): outlier index match + operand routing.
+  double distributor_area = 17464.0;
+  double distributor_power = 7.9;
+
+  // Log2-based softmax unit (Fig 6(c)) and its conventional counterpart
+  // (exp LUT + FP divider array). The paper: log2 cuts 32.3% area / 35.7%
+  // power, i.e. conventional = log2 / (1 - saving).
+  double log2_softmax_area = 76330.92;
+  double log2_softmax_power = 27.62;
+  double softmax_area_saving = 0.323;
+  double softmax_power_saving = 0.357;
+
+  // Shift-based MX-OPAL quantizer vs a divider-based MinMax dynamic
+  // quantizer (motivation 2). The 2.5x is a model assumption documented in
+  // DESIGN.md: a bf16 divider array + min/max extraction replaces the
+  // comparator tree + shifter.
+  double mx_quantizer_area = 34670.88;
+  double mx_quantizer_power = 14.11;
+  double divider_quantizer_factor = 2.5;
+
+  // Core-level FP adder tree combining the eight lane outputs.
+  double fp_adder_tree_area = 8470.80;
+  double fp_adder_tree_power = 1.28;
+
+  // Per-operation dynamic energies (pJ), used by the activity-based energy
+  // accounting. Derived from power/throughput at the nominal clock.
+  [[nodiscard]] double int_mac_energy_pj(int b_lo, int b_hi,
+                                         int macs_per_cycle) const;
+  [[nodiscard]] double fp_mac_energy_pj() const;
+};
+
+/// Structural configuration of one OPAL core (Section 4.3).
+struct CoreConfig {
+  std::size_t lanes = 8;
+  std::size_t mus_per_lane = 32;
+  std::size_t multipliers_per_mu = 4;
+  std::size_t fp_units_per_lane = 4;
+  std::size_t block_size = 128;
+  int low_bits = 4;   // 3 for the W3A3/5 variant
+  int high_bits = 7;  // 5 for the W3A3/5 variant
+
+  /// MACs per cycle per core in each INT MU mode: 256 / 512 / 1024 for the
+  /// paper's 8x32x4 configuration.
+  [[nodiscard]] std::size_t macs_per_cycle_high_high() const {
+    return lanes * mus_per_lane;
+  }
+  [[nodiscard]] std::size_t macs_per_cycle_low_high() const {
+    return lanes * mus_per_lane * 2;
+  }
+  [[nodiscard]] std::size_t macs_per_cycle_low_low() const {
+    return lanes * mus_per_lane * multipliers_per_mu;
+  }
+  [[nodiscard]] std::size_t fp_macs_per_cycle() const {
+    return lanes * fp_units_per_lane;
+  }
+};
+
+/// Area/power rollup of one block of the core (one Table 3 row).
+struct BlockCost {
+  std::string name;
+  double area_um2 = 0.0;
+  double power_mw = 0.0;
+};
+
+/// Full Table 3: per-block and total area/power of one core.
+struct CoreCost {
+  BlockCost lanes;
+  BlockCost distributors;
+  BlockCost softmax;
+  BlockCost quantizer;
+  BlockCost fp_adder_tree;
+
+  [[nodiscard]] double total_area_um2() const;
+  [[nodiscard]] double total_power_mw() const;
+};
+
+/// Synthesizes the cost model for a core configuration.
+[[nodiscard]] CoreCost core_cost(const CoreConfig& config,
+                                 const TechParams& tech);
+
+/// Conventional (divider-based) softmax unit cost, for the §4.3.3 claims.
+[[nodiscard]] BlockCost conventional_softmax_cost(const TechParams& tech);
+
+/// Divider-based MinMax dynamic quantizer cost (the motivation-2 baseline).
+[[nodiscard]] BlockCost minmax_quantizer_cost(const TechParams& tech);
+
+}  // namespace opal

@@ -1,0 +1,69 @@
+// Per-token operation list of a decoder model — the workload consumed by the
+// device-level simulator (Fig 8, latency/energy per token).
+//
+// Every op is one of: a matrix-vector product (projection / FFN weights
+// streamed from DRAM, or attention ops against the KV cache), a softmax over
+// the attention scores, an MX-OPAL re-encode of a produced activation, or a
+// shift-and-accumulate Attn.V (which replaces the AV matmul when the log2
+// softmax is active).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "llm/model_config.h"
+
+namespace opal {
+
+enum class OpKind : std::uint8_t {
+  kWeightMxv,   // activation x streamed weight matrix
+  kKvMxv,       // Q.K^T or Attn.V against the cached K/V
+  kShiftAccAv,  // Attn.V as shift-and-accumulate (log2 softmax active)
+  kSoftmax,
+  kQuantize,
+};
+
+struct TokenOp {
+  std::string name;
+  OpKind kind = OpKind::kWeightMxv;
+  std::size_t rows = 0;  // outputs (per head already aggregated)
+  std::size_t cols = 0;  // reduction length
+  int weight_bits = 16;  // second operand precision
+  int act_bits = 16;     // first operand precision
+  /// Tokens processed together (1 for decode; prompt length for prefill,
+  /// where the same streamed weights serve every prompt position).
+  std::size_t batch = 1;
+};
+
+/// Activation precision scheme of a device (16 = BF16 baseline).
+struct ActBits {
+  int low = 16;
+  int high = 16;
+  [[nodiscard]] int max() const { return low > high ? low : high; }
+};
+
+/// Builds the op list for generating one token at KV length `seq_len`.
+/// `log2_softmax` replaces the AV matmul with shift-accumulate ops and is
+/// only used by OPAL devices.
+[[nodiscard]] std::vector<TokenOp> token_ops(const ModelConfig& model,
+                                             std::size_t seq_len,
+                                             int weight_bits, ActBits act,
+                                             bool log2_softmax,
+                                             bool quantize_acts);
+
+/// Builds the op list for prefilling a `prompt_len`-token prompt: the same
+/// layer walk, but every weight matrix is reused across all prompt
+/// positions (batch = prompt_len) and the attention ops cover the causal
+/// triangle — which is why prefill is compute-bound while decode is
+/// DRAM-bound.
+[[nodiscard]] std::vector<TokenOp> prefill_ops(const ModelConfig& model,
+                                               std::size_t prompt_len,
+                                               int weight_bits, ActBits act,
+                                               bool log2_softmax,
+                                               bool quantize_acts);
+
+/// Total MACs across the MxV ops of a workload (batch-weighted).
+[[nodiscard]] std::size_t total_macs(const std::vector<TokenOp>& ops);
+
+}  // namespace opal

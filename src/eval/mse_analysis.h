@@ -1,0 +1,60 @@
+// Per-site quantization-noise analysis — the Fig 3 / Fig 4 harness.
+//
+// Records raw activations at the six observable sites of one decoder block
+// (Query, Key, Value, Proj, fc1, fc2), then measures each candidate
+// quantizer's MSE against the bfloat16 original, normalized to the MinMax
+// baseline the way Fig 4 plots it.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "llm/engine.h"
+#include "quant/quantizer.h"
+
+namespace opal {
+
+/// Raw activation capture at one decoder block.
+class SiteCapture final : public ActivationRecorder {
+ public:
+  explicit SiteCapture(std::size_t layer) : layer_(layer) {}
+
+  void record(std::size_t layer, RecordSite site,
+              std::span<const float> values) override;
+
+  /// All recorded vectors for `site`, concatenated.
+  [[nodiscard]] const std::vector<float>& at(RecordSite site) const;
+  [[nodiscard]] std::size_t layer() const { return layer_; }
+
+  /// The six sites Fig 4 plots, in plot order.
+  [[nodiscard]] static std::vector<RecordSite> figure4_sites();
+
+ private:
+  std::size_t layer_;
+  std::map<RecordSite, std::vector<float>> data_;
+};
+
+/// Runs the BF16 engine over a self-generated stream and captures `layer`.
+[[nodiscard]] SiteCapture capture_layer_activations(
+    const SyntheticModel& model, std::size_t layer, std::size_t n_tokens,
+    std::uint64_t seed);
+
+/// MSE of `quantizer` on the captured activations of `site`.
+[[nodiscard]] double site_mse(const SiteCapture& capture, RecordSite site,
+                              const Quantizer& quantizer);
+
+/// One Fig 4 series: relative MSE (quantizer / MinMax-with-same-bits) per
+/// site plus the average, keyed by the site label.
+struct RelativeMseSeries {
+  std::string name;
+  std::vector<double> per_site;  // order of SiteCapture::figure4_sites()
+  double average = 0.0;
+};
+
+[[nodiscard]] RelativeMseSeries relative_mse_series(
+    const SiteCapture& capture, const Quantizer& quantizer,
+    const Quantizer& baseline, const std::string& name);
+
+}  // namespace opal

@@ -1,0 +1,91 @@
+#include "eval/perplexity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "common/tensor.h"
+
+namespace opal {
+
+void log_softmax(std::span<const float> logits, std::span<double> out) {
+  require(logits.size() == out.size() && !logits.empty(),
+          "log_softmax: bad spans");
+  double max_l = logits[0];
+  for (const float v : logits) max_l = std::max(max_l, double{v});
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = static_cast<double>(logits[i]) - max_l;
+    sum += std::exp(out[i]);
+  }
+  const double log_sum = std::log(sum);
+  for (auto& v : out) v -= log_sum;
+}
+
+std::vector<std::size_t> generate_stream(InferenceEngine& engine,
+                                         std::size_t n_tokens,
+                                         std::uint64_t seed) {
+  engine.reset();
+  Rng rng = make_rng(seed);
+  std::vector<std::size_t> tokens;
+  tokens.reserve(n_tokens);
+  std::size_t token = 0;
+  std::vector<double> logp;
+  for (std::size_t t = 0; t < n_tokens; ++t) {
+    tokens.push_back(token);
+    const auto logits = engine.step(token);
+    logp.resize(logits.size());
+    log_softmax(logits, logp);
+    // Inverse-CDF sample from the softmax distribution.
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
+    double r = uni(rng);
+    std::size_t next = logits.size() - 1;
+    for (std::size_t i = 0; i < logp.size(); ++i) {
+      r -= std::exp(logp[i]);
+      if (r <= 0.0) {
+        next = i;
+        break;
+      }
+    }
+    token = next;
+  }
+  return tokens;
+}
+
+double evaluate_perplexity(InferenceEngine& engine,
+                           std::span<const std::size_t> tokens) {
+  require(tokens.size() >= 2, "evaluate_perplexity: need >= 2 tokens");
+  engine.reset();
+  double ce = 0.0;
+  std::vector<double> logp;
+  for (std::size_t t = 0; t + 1 < tokens.size(); ++t) {
+    const auto logits = engine.step(tokens[t]);
+    logp.resize(logits.size());
+    log_softmax(logits, logp);
+    ce += -logp[tokens[t + 1]];
+  }
+  return std::exp(ce / static_cast<double>(tokens.size() - 1));
+}
+
+double evaluate_mean_kl(InferenceEngine& teacher, InferenceEngine& student,
+                        std::span<const std::size_t> tokens) {
+  require(tokens.size() >= 2, "evaluate_mean_kl: need >= 2 tokens");
+  teacher.reset();
+  student.reset();
+  double kl = 0.0;
+  std::vector<double> lp_t, lp_s;
+  for (std::size_t t = 0; t + 1 < tokens.size(); ++t) {
+    const auto logits_t = teacher.step(tokens[t]);
+    const auto logits_s = student.step(tokens[t]);
+    lp_t.resize(logits_t.size());
+    lp_s.resize(logits_s.size());
+    log_softmax(logits_t, lp_t);
+    log_softmax(logits_s, lp_s);
+    for (std::size_t i = 0; i < lp_t.size(); ++i) {
+      kl += std::exp(lp_t[i]) * (lp_t[i] - lp_s[i]);
+    }
+  }
+  return kl / static_cast<double>(tokens.size() - 1);
+}
+
+}  // namespace opal

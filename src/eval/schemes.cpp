@@ -1,0 +1,56 @@
+#include "eval/schemes.h"
+
+namespace opal {
+
+EngineConfig scheme_bf16() { return EngineConfig{}; }
+
+EngineConfig scheme_owq(int weight_bits) {
+  EngineConfig cfg;
+  cfg.weight_quant = weight_bits == 3 ? OwqConfig::w3() : OwqConfig::w4();
+  cfg.weight_quant->bits = weight_bits;
+  return cfg;
+}
+
+EngineConfig scheme_minmax(int weight_bits, int low_bits, int high_bits) {
+  EngineConfig cfg = scheme_owq(weight_bits);
+  cfg.act_policy = PrecisionPolicy{QuantScheme::kMinMax, low_bits, high_bits,
+                                   128, 0};
+  // The MinMax rows of Table 1 use conventional FP softmax hardware.
+  cfg.log2_softmax = false;
+  return cfg;
+}
+
+EngineConfig scheme_mx_opal(int weight_bits, int low_bits, int high_bits,
+                            bool log2_softmax) {
+  EngineConfig cfg = scheme_owq(weight_bits);
+  cfg.act_policy = PrecisionPolicy{QuantScheme::kMxOpal, low_bits, high_bits,
+                                   128, 4};
+  cfg.log2_softmax = log2_softmax;
+  cfg.softmax_bits = high_bits;
+  return cfg;
+}
+
+std::vector<NamedScheme> table1_schemes() {
+  return {
+      {"bfloat16 (BF16)", scheme_bf16()},
+      {"W4A16 (OWQ)", scheme_owq(4)},
+      {"W4A7 (MinMax)", scheme_minmax(4, 7, 7)},
+      {"W4A7 (MX-OPAL)", scheme_mx_opal(4, 7, 7)},
+      {"W4A4/7 (MinMax)", scheme_minmax(4, 4, 7)},
+      {"W4A4/7 (MX-OPAL)", scheme_mx_opal(4, 4, 7)},
+      {"W3A16 (OWQ)", scheme_owq(3)},
+      {"W3A3/5 (MinMax)", scheme_minmax(3, 3, 5)},
+      {"W3A3/5 (MX-OPAL)", scheme_mx_opal(3, 3, 5)},
+  };
+}
+
+std::vector<NamedScheme> table2_schemes() {
+  return {
+      {"OWQ W4A16", scheme_owq(4)},
+      {"MX-OPAL W4A4/7", scheme_mx_opal(4, 4, 7)},
+      {"OWQ W3A16", scheme_owq(3)},
+      {"MX-OPAL W3A3/5", scheme_mx_opal(3, 3, 5)},
+  };
+}
+
+}  // namespace opal

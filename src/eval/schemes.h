@@ -1,0 +1,41 @@
+// Named quantization schemes — the row labels of Tables 1 and 2, expressed
+// as EngineConfig factories so every bench and test builds identical
+// configurations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "llm/engine.h"
+
+namespace opal {
+
+struct NamedScheme {
+  std::string label;  // the paper's row label
+  EngineConfig config;
+};
+
+/// All rows of Table 1, in paper order:
+///   bfloat16 baseline, W4A16 (OWQ), W4A7 (MinMax), W4A7 (MX-OPAL),
+///   W4A4/7 (MinMax), W4A4/7 (MX-OPAL), W3A16 (OWQ), W3A3/5 (MinMax),
+///   W3A3/5 (MX-OPAL).
+[[nodiscard]] std::vector<NamedScheme> table1_schemes();
+
+/// The four rows per model of Table 2: OWQ W4A16, MX-OPAL W4A4/7,
+/// OWQ W3A16, MX-OPAL W3A3/5.
+[[nodiscard]] std::vector<NamedScheme> table2_schemes();
+
+/// Individual named configurations.
+[[nodiscard]] EngineConfig scheme_bf16();
+[[nodiscard]] EngineConfig scheme_owq(int weight_bits);          // WxA16
+[[nodiscard]] EngineConfig scheme_minmax(int weight_bits, int low_bits,
+                                         int high_bits);
+/// MX-OPAL rows of Tables 1-2 follow the paper's §5.1 setup: a pure data-
+/// format comparison (QPyTorch-style fake quantization) with FP softmax.
+/// The log2 softmax unit's accuracy impact is measured separately
+/// (§4.2, bench_softmax_unit), so it defaults off here.
+[[nodiscard]] EngineConfig scheme_mx_opal(int weight_bits, int low_bits,
+                                          int high_bits,
+                                          bool log2_softmax = false);
+
+}  // namespace opal

@@ -1,0 +1,75 @@
+#include "eval/tasks.h"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "common/tensor.h"
+#include "eval/perplexity.h"
+
+namespace opal {
+
+std::vector<McItem> make_mc_task(InferenceEngine& teacher,
+                                 const McTaskConfig& config) {
+  require(config.n_candidates >= 2, "make_mc_task: need >= 2 candidates");
+  Rng rng = make_rng(config.seed);
+  std::vector<McItem> items;
+  items.reserve(config.n_items);
+
+  for (std::size_t i = 0; i < config.n_items; ++i) {
+    McItem item;
+    // Distinct random-walk prompts: seed token varies per item.
+    teacher.reset();
+    std::uniform_int_distribution<std::size_t> start(
+        0, teacher.model_config().vocab - 1);
+    std::size_t token = start(rng);
+    std::span<const float> logits;
+    for (std::size_t t = 0; t < config.prompt_len; ++t) {
+      item.prompt.push_back(token);
+      logits = teacher.step(token);
+      // Greedy continuation keeps prompts on the teacher's manifold.
+      token = static_cast<std::size_t>(std::distance(
+          logits.begin(), std::max_element(logits.begin(), logits.end())));
+    }
+    // Candidates: the teacher's top-n next tokens after the prompt. The
+    // correct answer is by construction candidate 0; shuffle so position
+    // carries no signal.
+    std::vector<std::size_t> order(logits.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<long>(config.n_candidates),
+                      order.end(), [&](std::size_t a, std::size_t b) {
+                        return logits[a] > logits[b];
+                      });
+    order.resize(config.n_candidates);
+    const std::size_t correct_token = order[0];
+    std::shuffle(order.begin(), order.end(), rng);
+    item.candidates = order;
+    item.correct = static_cast<std::size_t>(std::distance(
+        order.begin(),
+        std::find(order.begin(), order.end(), correct_token)));
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+double evaluate_mc_accuracy(InferenceEngine& engine,
+                            const std::vector<McItem>& items) {
+  require(!items.empty(), "evaluate_mc_accuracy: no items");
+  std::size_t hits = 0;
+  for (const auto& item : items) {
+    engine.reset();
+    std::span<const float> logits;
+    for (const std::size_t token : item.prompt) logits = engine.step(token);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < item.candidates.size(); ++c) {
+      if (logits[item.candidates[c]] > logits[item.candidates[best]]) {
+        best = c;
+      }
+    }
+    if (best == item.correct) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(items.size());
+}
+
+}  // namespace opal

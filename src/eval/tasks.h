@@ -1,0 +1,40 @@
+// Synthetic zero-shot multiple-choice harness — the ARC/PIQA stand-in
+// (DESIGN.md §2). Each item is a teacher-generated prompt plus four
+// candidate continuations; the correct answer is the teacher's own
+// most-likely candidate, and a student scores the item right when its
+// log-likelihood ranking agrees. Quantization noise flips rankings, so
+// accuracy degrades exactly the way task accuracy does in Table 2.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "llm/engine.h"
+
+namespace opal {
+
+struct McItem {
+  std::vector<std::size_t> prompt;
+  std::vector<std::size_t> candidates;  // one token each
+  std::size_t correct = 0;              // index into candidates
+};
+
+struct McTaskConfig {
+  std::size_t n_items = 64;
+  std::size_t prompt_len = 24;
+  std::size_t n_candidates = 4;
+  std::uint64_t seed = 17;
+};
+
+/// Builds a benchmark from the teacher: prompts are sampled continuations,
+/// candidates are distinct plausible next tokens, the answer key is the
+/// teacher's argmax among them.
+[[nodiscard]] std::vector<McItem> make_mc_task(InferenceEngine& teacher,
+                                               const McTaskConfig& config);
+
+/// Fraction of items where `engine`'s candidate ranking picks the key.
+[[nodiscard]] double evaluate_mc_accuracy(InferenceEngine& engine,
+                                          const std::vector<McItem>& items);
+
+}  // namespace opal

@@ -1,0 +1,51 @@
+#include "llm/kv_cache.h"
+
+#include <algorithm>
+
+namespace opal {
+
+KvCache::KvCache(std::size_t n_layers, std::size_t d_model,
+                 std::size_t max_seq_len)
+    : d_model_(d_model), max_seq_len_(max_seq_len) {
+  keys_.reserve(n_layers);
+  values_.reserve(n_layers);
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    keys_.emplace_back(max_seq_len, d_model);
+    values_.emplace_back(max_seq_len, d_model);
+  }
+}
+
+void KvCache::advance() {
+  require(len_ < max_seq_len_, "KvCache::advance: cache full");
+  ++len_;
+}
+
+void KvCache::append(std::size_t layer, std::span<const float> k,
+                     std::span<const float> v) {
+  require(layer < keys_.size(), "KvCache::append: bad layer");
+  require(k.size() == d_model_ && v.size() == d_model_,
+          "KvCache::append: dim mismatch");
+  require(len_ >= 1, "KvCache::append: call advance() first");
+  std::copy(k.begin(), k.end(), keys_[layer].row(len_ - 1).begin());
+  std::copy(v.begin(), v.end(), values_[layer].row(len_ - 1).begin());
+}
+
+const Matrix& KvCache::keys(std::size_t layer) const {
+  require(layer < keys_.size(), "KvCache::keys: bad layer");
+  return keys_[layer];
+}
+
+const Matrix& KvCache::values(std::size_t layer) const {
+  require(layer < values_.size(), "KvCache::values: bad layer");
+  return values_[layer];
+}
+
+void KvCache::clear() { len_ = 0; }
+
+std::size_t KvCache::storage_bytes(std::size_t n_layers, std::size_t d_model,
+                                   std::size_t len,
+                                   std::size_t bits_per_value) {
+  return n_layers * 2 * d_model * len * bits_per_value / 8;
+}
+
+}  // namespace opal

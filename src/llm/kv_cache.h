@@ -1,0 +1,49 @@
+// Per-layer key/value cache for single-batch autoregressive decoding.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/tensor.h"
+
+namespace opal {
+
+class KvCache {
+ public:
+  KvCache(std::size_t n_layers, std::size_t d_model,
+          std::size_t max_seq_len);
+
+  /// Opens a new time step: all layers subsequently append at this
+  /// position and attention spans [0, length()).
+  void advance();
+
+  /// Writes this step's key and value vectors for `layer` at the position
+  /// opened by the last advance().
+  void append(std::size_t layer, std::span<const float> k,
+              std::span<const float> v);
+
+  /// Cached keys/values for `layer` as [len x d_model] matrices.
+  [[nodiscard]] const Matrix& keys(std::size_t layer) const;
+  [[nodiscard]] const Matrix& values(std::size_t layer) const;
+
+  [[nodiscard]] std::size_t length() const { return len_; }
+  [[nodiscard]] std::size_t max_seq_len() const { return max_seq_len_; }
+  void clear();
+
+  /// Bytes to store the cache at length `len` with `bits_per_value`-bit
+  /// entries (used for buffer sizing in the accelerator model).
+  [[nodiscard]] static std::size_t storage_bytes(std::size_t n_layers,
+                                                 std::size_t d_model,
+                                                 std::size_t len,
+                                                 std::size_t bits_per_value);
+
+ private:
+  std::size_t d_model_;
+  std::size_t max_seq_len_;
+  std::size_t len_ = 0;
+  std::vector<Matrix> keys_;    // per layer, rows = time
+  std::vector<Matrix> values_;  // per layer
+};
+
+}  // namespace opal

@@ -1,0 +1,52 @@
+#include "llm/norm.h"
+
+#include <cmath>
+
+#include "common/tensor.h"
+
+namespace opal {
+
+Norm::Norm(NormKind kind, std::vector<float> gain, float eps)
+    : kind_(kind), gain_(std::move(gain)), eps_(eps) {
+  require(!gain_.empty(), "Norm: empty gain");
+}
+
+void Norm::apply(std::span<const float> in, std::span<float> out) const {
+  require(in.size() == gain_.size() && out.size() == gain_.size(),
+          "Norm: dim mismatch");
+  const auto n = static_cast<float>(in.size());
+  double sum = 0.0;
+  for (const float v : in) sum += v;
+  const float mean =
+      kind_ == NormKind::kLayerNorm ? static_cast<float>(sum) / n : 0.0f;
+
+  double var_acc = 0.0;
+  for (const float v : in) {
+    const double d = v - mean;
+    var_acc += d * d;
+  }
+  const float inv =
+      1.0f / std::sqrt(static_cast<float>(var_acc) / n + eps_);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = (in[i] - mean) * inv * gain_[i];
+  }
+}
+
+void apply_activation(ActivationKind kind, std::span<float> x) {
+  switch (kind) {
+    case ActivationKind::kSiLU:
+      for (auto& v : x) v = v / (1.0f + std::exp(-v));
+      break;
+    case ActivationKind::kReLU:
+      for (auto& v : x) v = v > 0.0f ? v : 0.0f;
+      break;
+    case ActivationKind::kGeLU:
+      for (auto& v : x) {
+        v = 0.5f * v *
+            (1.0f + std::tanh(0.7978845608f * (v + 0.044715f * v * v * v)));
+      }
+      break;
+  }
+}
+
+}  // namespace opal

@@ -1,0 +1,35 @@
+// RMSNorm (Llama2) and LayerNorm (OPT) with learned gains.
+//
+// The gain vector is where the outlier channel structure of post-LN
+// activations comes from in real models: a handful of channels carry gains
+// an order of magnitude above the rest, so the normalized-but-amplified
+// activations land exactly in the regime Fig 3 shows.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "llm/model_config.h"
+
+namespace opal {
+
+class Norm {
+ public:
+  Norm(NormKind kind, std::vector<float> gain, float eps = 1e-5f);
+
+  /// out = normalize(in) * gain (elementwise); in/out may alias.
+  void apply(std::span<const float> in, std::span<float> out) const;
+
+  [[nodiscard]] NormKind kind() const { return kind_; }
+  [[nodiscard]] std::span<const float> gain() const { return gain_; }
+
+ private:
+  NormKind kind_;
+  std::vector<float> gain_;
+  float eps_;
+};
+
+/// Elementwise nonlinearity used between fc1 and fc2.
+void apply_activation(ActivationKind kind, std::span<float> x);
+
+}  // namespace opal

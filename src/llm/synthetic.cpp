@@ -1,0 +1,75 @@
+#include "llm/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opal {
+
+namespace {
+
+std::vector<float> make_gain(Rng& rng, std::size_t dim,
+                             std::span<const std::size_t> outliers,
+                             float outlier_gain) {
+  std::vector<float> gain(dim);
+  fill_gaussian(rng, gain, 1.0f, 0.1f);
+  for (auto& g : gain) g = std::max(0.25f, g);
+  for (const std::size_t c : outliers) {
+    // Log-normal spread around the nominal outlier gain so preserved
+    // channels differ in magnitude, as in profiled LLMs.
+    std::normal_distribution<float> jitter(0.0f, 0.25f);
+    gain[c] = outlier_gain * std::exp(jitter(rng));
+  }
+  return gain;
+}
+
+}  // namespace
+
+SyntheticModel::SyntheticModel(ModelConfig config, std::uint64_t seed,
+                               float outlier_channel_fraction,
+                               float outlier_gain, float attn_score_gain)
+    : config_(std::move(config)) {
+  Rng rng = make_rng(seed);
+
+  const std::size_t d = config_.d_model;
+  const std::size_t f = config_.d_ffn;
+  const auto n_outliers = static_cast<std::size_t>(std::max(
+      1.0f, outlier_channel_fraction * static_cast<float>(d)));
+  outlier_channels_ =
+      make_outlier_profile(rng, d, n_outliers, outlier_gain, outlier_gain)
+          .channels;
+  const auto n_ffn_outliers = static_cast<std::size_t>(std::max(
+      1.0f, outlier_channel_fraction * static_cast<float>(f)));
+  ffn_outlier_channels_ =
+      make_outlier_profile(rng, f, n_ffn_outliers, outlier_gain, outlier_gain)
+          .channels;
+
+  layers_.reserve(config_.n_layers);
+  for (std::size_t l = 0; l < config_.n_layers; ++l) {
+    DecoderWeights w;
+    // Weight outliers live on the same channels where activation outliers
+    // occur, so OWQ's FP columns and the distributor's FP routing align.
+    w.wq = make_weight_matrix(rng, d, d, outlier_channels_, 2.0f);
+    for (auto& v : w.wq.flat()) v *= attn_score_gain;
+    w.wk = make_weight_matrix(rng, d, d, outlier_channels_, 2.0f);
+    w.wv = make_weight_matrix(rng, d, d, outlier_channels_, 2.0f);
+    // Residual-branch outputs are scaled 1/sqrt(2L), the balance trained
+    // transformers converge to (GPT-2-style init); without it each random
+    // layer dominates the stream and the model is unrealistically
+    // sensitive to attention/FFN perturbations.
+    const float residual_scale =
+        1.0f / std::sqrt(2.0f * static_cast<float>(config_.n_layers));
+    w.wo = make_weight_matrix(rng, d, d);
+    for (auto& v : w.wo.flat()) v *= residual_scale;
+    w.w_fc1 = make_weight_matrix(rng, f, d, outlier_channels_, 2.0f);
+    w.w_fc2 = make_weight_matrix(rng, d, f, ffn_outlier_channels_, 2.0f);
+    for (auto& v : w.w_fc2.flat()) v *= residual_scale;
+    w.attn_norm_gain = make_gain(rng, d, outlier_channels_, outlier_gain);
+    w.ffn_norm_gain = make_gain(rng, d, outlier_channels_, outlier_gain);
+    layers_.push_back(std::move(w));
+  }
+
+  final_norm_gain_ = make_gain(rng, d, {}, 1.0f);
+  embedding_ = make_weight_matrix(rng, config_.vocab, d);
+}
+
+}  // namespace opal

@@ -1,0 +1,71 @@
+// Synthetic model construction — the stand-in for trained checkpoints.
+//
+// A SyntheticModel has the exact tensor shapes of its ModelConfig with
+// weights drawn from fan-in-scaled Gaussians, a persistent set of outlier
+// channels realized through amplified norm gains (post-LN outliers) and
+// amplified weight columns (weight outliers on the same channels), and a
+// tied embedding whose output scale is calibrated so the logit distribution
+// has non-degenerate entropy. See DESIGN.md §2 for why this preserves the
+// paper's phenomena.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/tensor.h"
+#include "llm/model_config.h"
+#include "llm/norm.h"
+
+namespace opal {
+
+struct DecoderWeights {
+  Matrix wq, wk, wv, wo;  // [d_model x d_model]
+  Matrix w_fc1;           // [d_ffn x d_model]
+  Matrix w_fc2;           // [d_model x d_ffn]
+  std::vector<float> attn_norm_gain;  // d_model
+  std::vector<float> ffn_norm_gain;   // d_model
+};
+
+class SyntheticModel {
+ public:
+  /// `attn_score_gain` scales the query projection so attention
+  /// distributions are peaked rather than near-uniform, as in trained
+  /// models (random Q/K would otherwise give diffuse attention, which is
+  /// unrealistically sensitive to attention-map quantization).
+  SyntheticModel(ModelConfig config, std::uint64_t seed,
+                 float outlier_channel_fraction = 0.005f,
+                 float outlier_gain = 24.0f, float attn_score_gain = 3.0f);
+
+  [[nodiscard]] const ModelConfig& config() const { return config_; }
+  [[nodiscard]] const std::vector<DecoderWeights>& layers() const {
+    return layers_;
+  }
+  [[nodiscard]] const Matrix& embedding() const { return embedding_; }
+  [[nodiscard]] const std::vector<float>& final_norm_gain() const {
+    return final_norm_gain_;
+  }
+  /// Multiplier applied to logits so their spread yields useful entropy.
+  [[nodiscard]] float logit_scale() const { return logit_scale_; }
+  void set_logit_scale(float s) { logit_scale_ = s; }
+
+  /// The persistent outlier channels planted in every layer (d_model space).
+  [[nodiscard]] const std::vector<std::size_t>& outlier_channels() const {
+    return outlier_channels_;
+  }
+  /// Outlier channels planted in the FFN hidden dimension.
+  [[nodiscard]] const std::vector<std::size_t>& ffn_outlier_channels() const {
+    return ffn_outlier_channels_;
+  }
+
+ private:
+  ModelConfig config_;
+  std::vector<DecoderWeights> layers_;
+  Matrix embedding_;  // [vocab x d_model], tied in/out
+  std::vector<float> final_norm_gain_;
+  std::vector<std::size_t> outlier_channels_;
+  std::vector<std::size_t> ffn_outlier_channels_;
+  float logit_scale_ = 1.0f;
+};
+
+}  // namespace opal

@@ -1,0 +1,165 @@
+#include "owq/gptq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/bfloat16.h"
+
+namespace opal {
+
+HessianAccumulator::HessianAccumulator(std::size_t dim)
+    : dim_(dim), h_(dim * dim, 0.0) {}
+
+void HessianAccumulator::accumulate(std::span<const float> activation) {
+  require(activation.size() == dim_, "HessianAccumulator: dim mismatch");
+  for (std::size_t j = 0; j < dim_; ++j) {
+    const double xj = activation[j];
+    if (xj == 0.0) continue;
+    double* row = h_.data() + j * dim_;
+    for (std::size_t k = 0; k < dim_; ++k) {
+      row[k] += xj * static_cast<double>(activation[k]);
+    }
+  }
+  ++tokens_;
+}
+
+std::vector<double> cholesky(std::span<const double> a, std::size_t n) {
+  require(a.size() == n * n, "cholesky: size mismatch");
+  std::vector<double> l(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) {
+        sum -= l[i * n + k] * l[j * n + k];
+      }
+      if (i == j) {
+        if (sum <= 0.0) {
+          throw std::invalid_argument("cholesky: not positive definite");
+        }
+        l[i * n + i] = std::sqrt(sum);
+      } else {
+        l[i * n + j] = sum / l[j * n + j];
+      }
+    }
+  }
+  return l;
+}
+
+std::vector<double> spd_inverse(std::span<const double> a, std::size_t n) {
+  const auto l = cholesky(a, n);
+  // Solve L Y = I column by column (forward), then L^T X = Y (backward).
+  std::vector<double> inv(n * n, 0.0);
+  std::vector<double> y(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double sum = i == col ? 1.0 : 0.0;
+      for (std::size_t k = 0; k < i; ++k) sum -= l[i * n + k] * y[k];
+      y[i] = sum / l[i * n + i];
+    }
+    for (std::size_t ii = n; ii-- > 0;) {
+      double sum = y[ii];
+      for (std::size_t k = ii + 1; k < n; ++k) {
+        sum -= l[k * n + ii] * inv[k * n + col];
+      }
+      inv[ii * n + col] = sum / l[ii * n + ii];
+    }
+  }
+  return inv;
+}
+
+OwqMatrix gptq_quantize(const Matrix& w, const HessianAccumulator& hessian,
+                        const GptqConfig& config) {
+  require(hessian.dim() == w.cols(), "gptq_quantize: Hessian dim");
+  require(config.bits >= 2 && config.bits <= 8, "gptq_quantize: bits");
+  const std::size_t cols = w.cols();
+  const std::size_t rows = w.rows();
+
+  // Damped Hessian: H + lambda I keeps the Cholesky well conditioned even
+  // with few calibration tokens.
+  std::vector<double> h(hessian.matrix());
+  double mean_diag = 0.0;
+  for (std::size_t j = 0; j < cols; ++j) mean_diag += h[j * cols + j];
+  mean_diag /= static_cast<double>(cols);
+  const double lambda = std::max(config.damp * mean_diag, 1e-8);
+  for (std::size_t j = 0; j < cols; ++j) h[j * cols + j] += lambda;
+
+  // Column order: act-order processes the most sensitive channels first so
+  // their rounding error is compensated by everyone else.
+  std::vector<std::size_t> order(cols);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (config.act_order) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return h[a * cols + a] > h[b * cols + b];
+                     });
+  }
+
+  // FP (bf16) columns: most sensitive by diag(H), as in owq_quantize.
+  OwqMatrix result;
+  result.bits = config.bits;
+  const auto n_fp = static_cast<std::size_t>(
+      std::ceil(config.outlier_fraction * static_cast<double>(cols)));
+  result.fp_columns.assign(order.begin(),
+                           order.begin() + static_cast<long>(
+                                               std::min(n_fp, cols)));
+  std::sort(result.fp_columns.begin(), result.fp_columns.end());
+
+  // Permute H into processing order and invert.
+  std::vector<double> h_perm(cols * cols);
+  for (std::size_t i = 0; i < cols; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      h_perm[i * cols + j] = h[order[i] * cols + order[j]];
+    }
+  }
+  const auto hinv = spd_inverse(h_perm, cols);
+
+  // Working copy of the weights in processing order: wbuf[r][i] is the
+  // (error-compensated) weight of row r at permuted column i.
+  std::vector<double> wbuf(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t i = 0; i < cols; ++i) {
+      wbuf[r * cols + i] = w(r, order[i]);
+    }
+  }
+
+  result.dequantized = Matrix(rows, cols);
+  std::vector<float> col(rows), qcol(rows);
+  for (std::size_t i = 0; i < cols; ++i) {
+    const std::size_t src_col = order[i];
+    const bool fp = result.is_fp_column(src_col);
+    for (std::size_t r = 0; r < rows; ++r) {
+      col[r] = static_cast<float>(wbuf[r * cols + i]);
+    }
+    if (fp) {
+      for (std::size_t r = 0; r < rows; ++r) {
+        result.dequantized(r, src_col) = to_bf16(col[r]);
+      }
+      result.storage_bits += rows * 16;
+      continue;  // bf16 error is negligible; no propagation needed
+    }
+    for (std::size_t g = 0; g < rows; g += config.group_size) {
+      const std::size_t len = std::min(config.group_size, rows - g);
+      quantize_group_symmetric(std::span(col).subspan(g, len),
+                               std::span(qcol).subspan(g, len), config.bits,
+                               config.optimize_clip);
+      result.storage_bits += len * static_cast<std::size_t>(config.bits) + 16;
+    }
+    const double hinv_ii = hinv[i * cols + i];
+    for (std::size_t r = 0; r < rows; ++r) {
+      result.dequantized(r, src_col) = qcol[r];
+      // OPTQ update: distribute this column's rounding error onto the
+      // remaining columns along H^-1.
+      const double err = (col[r] - static_cast<double>(qcol[r])) / hinv_ii;
+      double* wrow = wbuf.data() + r * cols;
+      const double* hrow = hinv.data() + i * cols;
+      for (std::size_t k = i + 1; k < cols; ++k) {
+        wrow[k] -= err * hrow[k];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace opal

@@ -1,0 +1,70 @@
+// OPTQ/GPTQ [2] — the second-order weight quantizer OWQ builds on.
+//
+// Given the layer Hessian H = X^T X (outer products of calibration
+// activations), columns are quantized sequentially and the rounding error of
+// each column is propagated into the not-yet-quantized columns through the
+// Cholesky factor of H^-1, which is what lets 3/4-bit weights track the
+// layer's *output* rather than the weights elementwise. Sensitive columns
+// (largest diag(H) x column-energy) stay in bfloat16 exactly as in
+// owq_quantize.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/tensor.h"
+#include "owq/owq.h"
+
+namespace opal {
+
+struct GptqConfig {
+  int bits = 4;
+  double outlier_fraction = 0.0025;
+  std::size_t group_size = 32;
+  bool optimize_clip = true;
+  /// Hessian dampening: lambda = damp * mean(diag H), the GPTQ default 1%.
+  double damp = 0.01;
+  /// Process columns in order of decreasing sensitivity (GPTQ "act-order").
+  bool act_order = true;
+};
+
+/// Full activation second-moment matrix accumulated over calibration
+/// tokens: H[j][k] = sum_t x_j x_k. Symmetric positive semi-definite.
+class HessianAccumulator {
+ public:
+  explicit HessianAccumulator(std::size_t dim);
+
+  void accumulate(std::span<const float> activation);
+
+  [[nodiscard]] std::size_t dim() const { return dim_; }
+  [[nodiscard]] std::size_t tokens_seen() const { return tokens_; }
+  /// Row-major dim x dim matrix.
+  [[nodiscard]] const std::vector<double>& matrix() const { return h_; }
+  [[nodiscard]] double at(std::size_t j, std::size_t k) const {
+    return h_[j * dim_ + k];
+  }
+
+ private:
+  std::size_t dim_;
+  std::size_t tokens_ = 0;
+  std::vector<double> h_;
+};
+
+/// Quantizes `w` ([out_features x in_features]) with OPTQ error
+/// compensation against the accumulated Hessian. Returns the same OwqMatrix
+/// shape as owq_quantize so callers can swap quantizers.
+[[nodiscard]] OwqMatrix gptq_quantize(const Matrix& w,
+                                      const HessianAccumulator& hessian,
+                                      const GptqConfig& config);
+
+/// Cholesky factorization of a symmetric positive-definite matrix
+/// (row-major n x n): returns lower-triangular L with A = L L^T. Throws
+/// std::invalid_argument if A is not positive definite. Exposed for tests.
+[[nodiscard]] std::vector<double> cholesky(std::span<const double> a,
+                                           std::size_t n);
+
+/// Inverse of an SPD matrix via its Cholesky factor. Exposed for tests.
+[[nodiscard]] std::vector<double> spd_inverse(std::span<const double> a,
+                                              std::size_t n);
+
+}  // namespace opal

@@ -1,0 +1,125 @@
+#include "owq/owq.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bfloat16.h"
+
+namespace opal {
+
+bool OwqMatrix::is_fp_column(std::size_t col) const {
+  return std::binary_search(fp_columns.begin(), fp_columns.end(), col);
+}
+
+namespace {
+
+/// Quantizes `in` with the given scale; returns the sum of squared errors.
+double apply_scale(std::span<const float> in, std::span<float> out,
+                   float scale, float qmax) {
+  double err = 0.0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const float q = std::clamp(std::round(in[i] / scale), -qmax, qmax);
+    out[i] = q * scale;
+    const double d = static_cast<double>(out[i]) - in[i];
+    err += d * d;
+  }
+  return err;
+}
+
+}  // namespace
+
+void quantize_group_symmetric(std::span<const float> in, std::span<float> out,
+                              int bits, bool optimize_clip) {
+  require(in.size() == out.size() && !in.empty(),
+          "quantize_group_symmetric: bad spans");
+  float max_abs = 0.0f;
+  for (const float v : in) max_abs = std::max(max_abs, std::abs(v));
+  if (max_abs == 0.0f) {
+    std::fill(out.begin(), out.end(), 0.0f);
+    return;
+  }
+  const float qmax = static_cast<float>((1 << (bits - 1)) - 1);
+  if (!optimize_clip) {
+    // Scales are stored as bf16 in the packed format; round accordingly.
+    apply_scale(in, out, to_bf16(max_abs / qmax), qmax);
+    return;
+  }
+  // Grid-search the clipping ratio for minimum group MSE (the grid is what
+  // a hardware-friendly OWQ implementation would tabulate).
+  static constexpr float kClipGrid[] = {0.5f, 0.6f, 0.7f, 0.8f, 0.9f, 1.0f};
+  std::vector<float> best(in.size());
+  double best_err = -1.0;
+  std::vector<float> trial(in.size());
+  for (const float clip : kClipGrid) {
+    const float scale = to_bf16(clip * max_abs / qmax);
+    if (scale == 0.0f) continue;
+    const double err = apply_scale(in, trial, scale, qmax);
+    if (best_err < 0.0 || err < best_err) {
+      best_err = err;
+      best.swap(trial);
+    }
+  }
+  std::copy(best.begin(), best.end(), out.begin());
+}
+
+OwqMatrix owq_quantize(const Matrix& w, std::span<const double> sensitivity,
+                       const OwqConfig& config) {
+  require(sensitivity.size() == w.cols(), "owq_quantize: sensitivity size");
+  require(config.bits >= 2 && config.bits <= 8, "owq_quantize: bits in [2,8]");
+  require(config.group_size >= 1, "owq_quantize: group_size >= 1");
+
+  OwqMatrix result;
+  result.bits = config.bits;
+  result.dequantized = Matrix(w.rows(), w.cols());
+
+  // Select the most sensitive input channels to keep in bf16.
+  const auto n_fp = static_cast<std::size_t>(
+      std::ceil(config.outlier_fraction * static_cast<double>(w.cols())));
+  std::vector<std::size_t> ranked(w.cols());
+  for (std::size_t i = 0; i < ranked.size(); ++i) ranked[i] = i;
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return sensitivity[a] > sensitivity[b];
+                   });
+  ranked.resize(std::min(n_fp, ranked.size()));
+  std::sort(ranked.begin(), ranked.end());
+  result.fp_columns = std::move(ranked);
+
+  // Quantize column by column (weights are consumed per input-channel in the
+  // GEMV; grouping runs down the output dimension).
+  std::vector<float> col(w.rows()), qcol(w.rows());
+  for (std::size_t c = 0; c < w.cols(); ++c) {
+    for (std::size_t r = 0; r < w.rows(); ++r) col[r] = w(r, c);
+    if (result.is_fp_column(c)) {
+      for (std::size_t r = 0; r < w.rows(); ++r) {
+        result.dequantized(r, c) = to_bf16(col[r]);
+      }
+      result.storage_bits += w.rows() * 16;
+      continue;
+    }
+    for (std::size_t g = 0; g < w.rows(); g += config.group_size) {
+      const std::size_t len = std::min(config.group_size, w.rows() - g);
+      quantize_group_symmetric(std::span(col).subspan(g, len),
+                               std::span(qcol).subspan(g, len), config.bits,
+                               config.optimize_clip);
+      result.storage_bits += len * static_cast<std::size_t>(config.bits) + 16;
+    }
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+      result.dequantized(r, c) = qcol[r];
+    }
+  }
+  return result;
+}
+
+OwqMatrix owq_quantize_weight_only(const Matrix& w, const OwqConfig& config) {
+  std::vector<double> energy(w.cols(), 0.0);
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    const auto row = w.row(r);
+    for (std::size_t c = 0; c < w.cols(); ++c) {
+      energy[c] += static_cast<double>(row[c]) * row[c];
+    }
+  }
+  return owq_quantize(w, energy, config);
+}
+
+}  // namespace opal

@@ -1,0 +1,68 @@
+// OWQ weight quantization [5] — the weight-side substrate of OPAL.
+//
+// Weights are quantized to INT3/INT4 per group with a symmetric per-group
+// scale, except for the input-channels (columns) that calibration flags as
+// most sensitive: those stay bfloat16. The paper keeps 0.25% of channels in
+// bf16 at W4 and 0.33% at W3, and aligns them with the activation outlier
+// channels so that the OPAL data distributor routes outlier x outlier
+// products to FP units (Fig 6(b)).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/tensor.h"
+#include "owq/calibration.h"
+
+namespace opal {
+
+struct OwqConfig {
+  int bits = 4;                     // non-outlier weight bit-width (3 or 4)
+  double outlier_fraction = 0.0025; // fraction of columns kept in bf16
+  std::size_t group_size = 32;      // rows sharing one scale within a column
+  /// Search the per-group clipping ratio for minimum MSE instead of always
+  /// mapping the group max to the top code. OPTQ/OWQ-class quantizers tune
+  /// the grid this way; without it, 3-bit RTN noise is ~2x higher.
+  bool optimize_clip = true;
+
+  /// The paper's operating points: W4 keeps 0.25% bf16 columns, W3 keeps
+  /// 0.33%.
+  [[nodiscard]] static OwqConfig w4() { return {4, 0.0025, 32, true}; }
+  [[nodiscard]] static OwqConfig w3() { return {3, 0.0033, 32, true}; }
+};
+
+/// A weight matrix after OWQ: dequantized values (for functional compute),
+/// the bf16 column set, and exact storage accounting.
+struct OwqMatrix {
+  Matrix dequantized;                  // rows x cols, ready for matvec
+  std::vector<std::size_t> fp_columns; // columns kept in bf16, sorted
+  std::size_t storage_bits = 0;
+  int bits = 4;
+
+  [[nodiscard]] bool is_fp_column(std::size_t col) const;
+  [[nodiscard]] double fp_fraction(std::size_t cols) const {
+    return static_cast<double>(fp_columns.size()) / static_cast<double>(cols);
+  }
+};
+
+/// Quantizes `w` ([out_features x in_features]) with OWQ. `sensitivity` is
+/// the Hessian-diagonal proxy per input channel (size = cols); the
+/// top-(outlier_fraction * cols) channels stay bf16.
+[[nodiscard]] OwqMatrix owq_quantize(const Matrix& w,
+                                     std::span<const double> sensitivity,
+                                     const OwqConfig& config);
+
+/// Convenience: calibration-free variant using the weight's own column
+/// energy as sensitivity (used where no activation stream is available).
+[[nodiscard]] OwqMatrix owq_quantize_weight_only(const Matrix& w,
+                                                 const OwqConfig& config);
+
+/// Symmetric per-group INT quantize-dequantize of one column segment;
+/// exposed for tests. scale = clip * max|w| / (2^(b-1)-1); with
+/// `optimize_clip` the clip ratio is searched over a small grid for the
+/// minimum group MSE.
+void quantize_group_symmetric(std::span<const float> in, std::span<float> out,
+                              int bits, bool optimize_clip = false);
+
+}  // namespace opal

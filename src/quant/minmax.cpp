@@ -1,0 +1,53 @@
+#include "quant/minmax.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/tensor.h"
+
+namespace opal {
+
+MinMaxQuantizer::MinMaxQuantizer(std::size_t block_size, int bits)
+    : block_size_(block_size), bits_(bits) {
+  require(block_size >= 1, "MinMaxQuantizer: block_size >= 1");
+  require(bits >= 2 && bits <= 15, "MinMaxQuantizer: bits in [2,15]");
+}
+
+std::string MinMaxQuantizer::name() const {
+  return "MinMax" + std::to_string(bits_);
+}
+
+void MinMaxQuantizer::quantize_block(std::span<const float> in,
+                                     std::span<float> out) const {
+  float lo = in[0], hi = in[0];
+  for (const float v : in) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const float levels = static_cast<float>((1 << bits_) - 1);
+  const float scale = (hi - lo) / levels;
+  if (scale == 0.0f) {  // constant block: representable exactly
+    std::copy(in.begin(), in.end(), out.begin());
+    return;
+  }
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const float q = std::round((in[i] - lo) / scale);
+    out[i] = lo + q * scale;
+  }
+}
+
+void MinMaxQuantizer::quantize_dequantize(std::span<const float> in,
+                                          std::span<float> out) const {
+  require(in.size() == out.size(), "MinMax: size mismatch");
+  for (std::size_t off = 0; off < in.size(); off += block_size_) {
+    const std::size_t len = std::min(block_size_, in.size() - off);
+    quantize_block(in.subspan(off, len), out.subspan(off, len));
+  }
+}
+
+std::size_t MinMaxQuantizer::storage_bits(std::size_t count) const {
+  const std::size_t blocks = (count + block_size_ - 1) / block_size_;
+  return count * static_cast<std::size_t>(bits_) + blocks * 8;
+}
+
+}  // namespace opal

@@ -1,0 +1,36 @@
+// MinMax dynamic quantizer — the ZeroQuant-style baseline of Figs 3-4 and
+// Tables 1-2: per-block asymmetric uniform quantization with
+// S = (max - min) / (2^b - 1) and round-to-nearest. This is the scheme whose
+// hardware realization needs min/max extraction plus FP dividers, which is
+// the paper's motivation 2 for moving to shift-based microscaling.
+#pragma once
+
+#include "quant/format.h"
+#include "quant/quantizer.h"
+
+namespace opal {
+
+class MinMaxQuantizer final : public Quantizer {
+ public:
+  /// `block_size` elements share one (scale, zero-point) pair; the paper's
+  /// comparisons use the same k = 128 grouping as the MX formats.
+  MinMaxQuantizer(std::size_t block_size, int bits);
+
+  [[nodiscard]] std::string name() const override;
+  void quantize_dequantize(std::span<const float> in,
+                           std::span<float> out) const override;
+  /// k*b element bits + one 8-bit shared scale per block, mirroring the
+  /// accounting the paper uses in the denominator of Eq. (1).
+  [[nodiscard]] std::size_t storage_bits(std::size_t count) const override;
+
+  [[nodiscard]] std::size_t block_size() const { return block_size_; }
+  [[nodiscard]] int bits() const { return bits_; }
+
+ private:
+  void quantize_block(std::span<const float> in, std::span<float> out) const;
+
+  std::size_t block_size_;
+  int bits_;
+};
+
+}  // namespace opal

@@ -1,0 +1,80 @@
+#include "quant/mxfp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/float_bits.h"
+#include "common/tensor.h"
+
+namespace opal {
+
+float MiniFloatFormat::max_value() const {
+  const float sig = 2.0f - exp2i(-mantissa_bits);
+  return sig * std::ldexp(1.0f, max_exponent());
+}
+
+float round_to_minifloat(float v, const MiniFloatFormat& fmt) {
+  if (v == 0.0f || std::isnan(v)) return 0.0f;
+  const float mag = std::abs(v);
+  const float sign = v < 0.0f ? -1.0f : 1.0f;
+  const float max_val = fmt.max_value();
+  if (mag >= max_val) return sign * max_val;  // saturating
+
+  // Binade of the value, floored at the subnormal range.
+  int e = f32_unbiased_exponent(mag);
+  e = std::max(e, fmt.min_normal_exponent());
+  const float step = std::ldexp(1.0f, e - fmt.mantissa_bits);
+  // Round to the nearest multiple of the in-binade step; rounding up across
+  // the binade boundary lands on the next format value, still exact.
+  const float q = std::round(mag / step) * step;
+  return sign * q;
+}
+
+MxFpQuantizer::MxFpQuantizer(std::size_t block_size, MiniFloatFormat element)
+    : block_size_(block_size), element_(element) {
+  require(block_size >= 1, "MxFpQuantizer: block_size >= 1");
+  require(element.exponent_bits >= 1 && element.exponent_bits <= 5,
+          "MxFpQuantizer: exponent bits in [1,5]");
+  require(element.mantissa_bits >= 1 && element.mantissa_bits <= 5,
+          "MxFpQuantizer: mantissa bits in [1,5]");
+}
+
+std::string MxFpQuantizer::name() const {
+  return "MXFP" + std::to_string(element_.total_bits()) + "(e" +
+         std::to_string(element_.exponent_bits) + "m" +
+         std::to_string(element_.mantissa_bits) + ")";
+}
+
+void MxFpQuantizer::quantize_block(std::span<const float> in,
+                                   std::span<float> out) const {
+  // Shared scale maps the block's max exponent onto the element format's
+  // max exponent (OCP MX scale selection).
+  int max_exp = kZeroExponent;
+  for (const float v : in) max_exp = std::max(max_exp, bf16_exponent_of(v));
+  if (max_exp == kZeroExponent) {
+    std::fill(out.begin(), out.end(), 0.0f);
+    return;
+  }
+  const int shared = max_exp - element_.max_exponent();
+  const float scale = std::ldexp(1.0f, shared);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = round_to_minifloat(to_bf16(in[i]) / scale, element_) * scale;
+  }
+}
+
+void MxFpQuantizer::quantize_dequantize(std::span<const float> in,
+                                        std::span<float> out) const {
+  require(in.size() == out.size(), "MXFP: size mismatch");
+  for (std::size_t off = 0; off < in.size(); off += block_size_) {
+    const std::size_t len = std::min(block_size_, in.size() - off);
+    quantize_block(in.subspan(off, len), out.subspan(off, len));
+  }
+}
+
+std::size_t MxFpQuantizer::storage_bits(std::size_t count) const {
+  const std::size_t blocks = (count + block_size_ - 1) / block_size_;
+  return count * static_cast<std::size_t>(element_.total_bits()) +
+         blocks * 8;
+}
+
+}  // namespace opal

@@ -1,0 +1,61 @@
+// MXFP — microscaling with floating-point elements, the other half of the
+// OCP MX spec [11] the paper builds on (e.g. MXFP4 = e2m1, MXFP6 = e2m3,
+// MXFP8 = e4m3). Not used by OPAL's datapath (whose INT MUs want integer
+// codes), but implemented as the natural comparison point: FP elements keep
+// per-element exponents, so they degrade more gracefully under outliers
+// than MXINT at the same bit budget — quantified in bench_mxfp_compare.
+#pragma once
+
+#include "quant/format.h"
+#include "quant/quantizer.h"
+
+namespace opal {
+
+/// A miniature FP element format: 1 sign | e exponent | m mantissa bits.
+/// All exponent codes are finite (no inf/NaN, per the MX element formats);
+/// exponent code 0 is subnormal.
+struct MiniFloatFormat {
+  int exponent_bits = 2;
+  int mantissa_bits = 1;
+
+  [[nodiscard]] int bias() const { return (1 << (exponent_bits - 1)) - 1; }
+  [[nodiscard]] int max_exponent() const {
+    return ((1 << exponent_bits) - 1) - bias();
+  }
+  [[nodiscard]] int min_normal_exponent() const { return 1 - bias(); }
+  /// Largest representable magnitude, e.g. 6.0 for e2m1.
+  [[nodiscard]] float max_value() const;
+  [[nodiscard]] int total_bits() const {
+    return 1 + exponent_bits + mantissa_bits;
+  }
+
+  [[nodiscard]] static MiniFloatFormat e2m1() { return {2, 1}; }  // MXFP4
+  [[nodiscard]] static MiniFloatFormat e2m3() { return {2, 3}; }  // MXFP6
+  [[nodiscard]] static MiniFloatFormat e3m2() { return {3, 2}; }  // MXFP6
+  [[nodiscard]] static MiniFloatFormat e4m3() { return {4, 3} ; } // MXFP8
+};
+
+/// Rounds `v` to the nearest representable value of the element format
+/// (round-to-nearest, saturating at +/-max_value; subnormals supported).
+[[nodiscard]] float round_to_minifloat(float v, const MiniFloatFormat& fmt);
+
+class MxFpQuantizer final : public Quantizer {
+ public:
+  MxFpQuantizer(std::size_t block_size, MiniFloatFormat element);
+
+  [[nodiscard]] std::string name() const override;
+  void quantize_dequantize(std::span<const float> in,
+                           std::span<float> out) const override;
+  /// k * element bits + one 8-bit shared scale per block.
+  [[nodiscard]] std::size_t storage_bits(std::size_t count) const override;
+
+  [[nodiscard]] const MiniFloatFormat& element() const { return element_; }
+
+ private:
+  void quantize_block(std::span<const float> in, std::span<float> out) const;
+
+  std::size_t block_size_;
+  MiniFloatFormat element_;
+};
+
+}  // namespace opal

@@ -1,0 +1,66 @@
+// Bit-exact serialization of encoded tensors — the storage format the
+// accelerator's SRAM and DRAM would hold.
+//
+// Layout (all fields little-endian bit order within the stream):
+//   header:  16b magic | 8b version | 8b element bits b | 16b block size k
+//            | 16b outliers n | 8b global scale (signed) | 32b element count
+//   per block:
+//            4b scale offset
+//            n x (index_bits index | 16b bfloat16 value)   outlier slots
+//            (len - n_actual) x b   sign-magnitude element codes, in
+//                                   position order, skipping outlier slots
+//
+// The packed size equals QuantizedTensor::storage_bits() plus the fixed
+// header, rounded up to whole bytes — asserted by tests, which is what makes
+// every storage number reported by the benches honest.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/format.h"
+
+namespace opal {
+
+/// Append-only bit stream writer.
+class BitWriter {
+ public:
+  /// Appends the low `bits` bits of `value` (bits <= 32).
+  void write(std::uint32_t value, int bits);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return bytes_;
+  }
+  [[nodiscard]] std::size_t bit_count() const { return bit_count_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t bit_count_ = 0;
+};
+
+/// Sequential bit stream reader.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  /// Reads `bits` bits (bits <= 32); throws std::out_of_range past the end.
+  [[nodiscard]] std::uint32_t read(int bits);
+
+  [[nodiscard]] std::size_t bits_consumed() const { return bit_pos_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t bit_pos_ = 0;
+};
+
+/// Serializes an encoded tensor to a packed byte stream.
+[[nodiscard]] std::vector<std::uint8_t> pack(const QuantizedTensor& qt);
+
+/// Parses a packed stream back into an encoded tensor. Throws
+/// std::invalid_argument on a corrupt header.
+[[nodiscard]] QuantizedTensor unpack(std::span<const std::uint8_t> bytes);
+
+/// Exact packed size in bits (header + payload), before byte rounding.
+[[nodiscard]] std::size_t packed_bits(const QuantizedTensor& qt);
+
+}  // namespace opal

@@ -1,0 +1,33 @@
+// Common interface of the activation quantizers compared in the paper.
+//
+// Accuracy experiments only need fake quantization (quantize-dequantize in
+// one step); the accelerator simulator additionally needs the true encoded
+// form, which MXINT/MX-OPAL expose via encode()/decode() in their own
+// headers.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+
+namespace opal {
+
+class Quantizer {
+ public:
+  virtual ~Quantizer() = default;
+
+  /// Human-readable scheme name ("MinMax", "MXINT4", "MX-OPAL4", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Applies quantize-then-dequantize elementwise; in/out may alias.
+  virtual void quantize_dequantize(std::span<const float> in,
+                                   std::span<float> out) const = 0;
+
+  /// Exact storage footprint in bits for `count` elements in this format.
+  [[nodiscard]] virtual std::size_t storage_bits(std::size_t count) const = 0;
+};
+
+using QuantizerPtr = std::unique_ptr<Quantizer>;
+
+}  // namespace opal

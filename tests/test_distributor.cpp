@@ -1,0 +1,93 @@
+#include "accel/distributor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "quant/mx_opal.h"
+
+namespace opal {
+namespace {
+
+TEST(Distributor, OutliersRoutedToFp) {
+  ActivationModel acts(1, 128, 0.02f);
+  std::vector<float> x(128);
+  acts.sample(x);
+  MxOpalQuantizer quant(128, 4, 4);
+  const auto qt = quant.encode(x);
+  const auto routed = route_block(qt.blocks[0], 0, {});
+  EXPECT_EQ(routed.fp_positions.size(), 4u);
+  EXPECT_EQ(routed.int_positions.size(), 124u);
+  // The FP positions are exactly the encoded outliers.
+  for (const auto& outlier : qt.blocks[0].outliers) {
+    EXPECT_TRUE(std::find(routed.fp_positions.begin(),
+                          routed.fp_positions.end(),
+                          outlier.index) != routed.fp_positions.end());
+  }
+}
+
+TEST(Distributor, FpWeightColumnsAlsoRouted) {
+  std::vector<float> x(16, 0.5f);
+  MxOpalQuantizer quant(16, 4, 0);
+  const auto qt = quant.encode(x);
+  const std::vector<std::size_t> fp_cols = {3, 9};
+  const auto routed = route_block(qt.blocks[0], 0, fp_cols);
+  EXPECT_EQ(routed.fp_positions, (std::vector<std::size_t>{3, 9}));
+}
+
+TEST(Distributor, BaseColumnOffsetApplied) {
+  std::vector<float> x(16, 0.5f);
+  MxOpalQuantizer quant(16, 4, 0);
+  const auto qt = quant.encode(x);
+  const std::vector<std::size_t> fp_cols = {18};
+  // Block covering columns [16, 32): global column 18 = position 2.
+  const auto routed = route_block(qt.blocks[0], 16, fp_cols);
+  EXPECT_EQ(routed.fp_positions, (std::vector<std::size_t>{2}));
+}
+
+TEST(Distributor, EveryPositionRoutedExactlyOnce) {
+  ActivationModel acts(2, 256, 0.02f);
+  std::vector<float> x(256);
+  acts.sample(x);
+  MxOpalQuantizer quant(128, 4, 4);
+  const auto qt = quant.encode(x);
+  const std::vector<std::size_t> fp_cols = {5, 200};
+  for (std::size_t b = 0; b < qt.blocks.size(); ++b) {
+    const auto routed = route_block(qt.blocks[b], b * 128, fp_cols);
+    EXPECT_EQ(routed.size(), 128u);
+    std::vector<bool> seen(128, false);
+    for (const auto i : routed.int_positions) seen[i] = true;
+    for (const auto i : routed.fp_positions) {
+      EXPECT_FALSE(seen[i]) << "position routed twice";
+      seen[i] = true;
+    }
+    for (const bool s : seen) EXPECT_TRUE(s);
+  }
+}
+
+TEST(Distributor, PaperIntFractionAchieved) {
+  // "96.9% of computations are done in INT multipliers": with n=4/128
+  // activation outliers (3.1%) and 0.25% weight columns, the INT share
+  // stays ~96.6-96.9%.
+  ActivationModel acts(3, 4096, 0.005f);
+  std::vector<float> x(4096);
+  acts.sample(x);
+  MxOpalQuantizer quant(128, 4, 4);
+  const auto qt = quant.encode(x);
+  // 0.25% of 4096 columns in bf16.
+  std::vector<std::size_t> fp_cols;
+  for (std::size_t c = 0; c < 4096; c += 400) fp_cols.push_back(c);
+  const auto stats = route_tensor(qt, fp_cols);
+  EXPECT_GT(stats.int_fraction(), 0.955);
+  EXPECT_LT(stats.int_fraction(), 0.975);
+}
+
+TEST(Distributor, FpFractionHelper) {
+  RoutedBlock routed;
+  routed.int_positions = {0, 1, 2};
+  routed.fp_positions = {3};
+  EXPECT_NEAR(routed.fp_fraction(), 0.25, 1e-12);
+  EXPECT_EQ(RoutedBlock{}.fp_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace opal

@@ -1,0 +1,153 @@
+#include "quant/format.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/bfloat16.h"
+#include "common/float_bits.h"
+
+namespace opal {
+namespace {
+
+TEST(MemoryOverhead, PaperValues) {
+  // Section 3.2: k=128, n=4 gives 2.7% overhead at b=8 and 9.2% at b=4.
+  EXPECT_NEAR(mx_opal_memory_overhead(128, 4, 8), 1.027, 0.002);
+  EXPECT_NEAR(mx_opal_memory_overhead(128, 4, 4), 1.092, 0.002);
+}
+
+TEST(MemoryOverhead, Fig4Table) {
+  // Fig 4 insets: OMEM at b=8 for n=1,2,8 -> 1.004/1.012/1.058 and at b=4
+  // -> 1.024/1.046/1.185.
+  EXPECT_NEAR(mx_opal_memory_overhead(128, 1, 8), 1.004, 0.002);
+  EXPECT_NEAR(mx_opal_memory_overhead(128, 2, 8), 1.012, 0.002);
+  EXPECT_NEAR(mx_opal_memory_overhead(128, 8, 8), 1.058, 0.002);
+  EXPECT_NEAR(mx_opal_memory_overhead(128, 1, 4), 1.024, 0.002);
+  EXPECT_NEAR(mx_opal_memory_overhead(128, 2, 4), 1.046, 0.002);
+  EXPECT_NEAR(mx_opal_memory_overhead(128, 8, 4), 1.185, 0.002);
+}
+
+TEST(MemoryOverhead, ShrinksWithBlockSize) {
+  const double small = mx_opal_memory_overhead(32, 4, 8);
+  const double large = mx_opal_memory_overhead(512, 4, 8);
+  EXPECT_GT(small, large);
+  EXPECT_LT(large, 1.02);
+}
+
+TEST(MemoryOverhead, RejectsDegenerateBlocks) {
+  EXPECT_THROW(mx_opal_memory_overhead(4, 4, 8), std::invalid_argument);
+}
+
+TEST(Bf16ExponentOf, NormalValues) {
+  EXPECT_EQ(bf16_exponent_of(1.0f), 0);
+  EXPECT_EQ(bf16_exponent_of(2.0f), 1);
+  EXPECT_EQ(bf16_exponent_of(-3.0f), 1);
+  EXPECT_EQ(bf16_exponent_of(0.5f), -1);
+  EXPECT_EQ(bf16_exponent_of(96.0f), 6);
+}
+
+TEST(Bf16ExponentOf, ZeroSentinel) {
+  EXPECT_EQ(bf16_exponent_of(0.0f), kZeroExponent);
+  EXPECT_EQ(bf16_exponent_of(-0.0f), kZeroExponent);
+}
+
+TEST(Bf16ExponentOf, RoundingCanBumpExponent) {
+  // A value that bf16-rounds up across a power of two gets the rounded
+  // exponent: nextafter(2, 0) -> bf16 2.0 -> exponent 1.
+  const float v = std::nextafterf(2.0f, 0.0f);
+  EXPECT_EQ(bf16_exponent_of(v), 1);
+}
+
+TEST(QuantizeCode, MaxExponentElementKeepsTopBits) {
+  // b=4: element with the shared-scale exponent quantizes to its top 3
+  // significand bits: 1.75 * 2^0 at scale 0 -> code 7 (1.75 * 4).
+  EXPECT_EQ(quantize_code(1.75f, 0, 4, RoundingMode::kNearest), 7);
+  EXPECT_EQ(quantize_code(-1.75f, 0, 4, RoundingMode::kNearest), -7);
+}
+
+TEST(QuantizeCode, UnderflowsToZero) {
+  // An element far below the shared scale shifts out entirely (Fig 2(b)).
+  EXPECT_EQ(quantize_code(0.001f, 6, 4, RoundingMode::kTruncate), 0);
+}
+
+TEST(QuantizeCode, SaturatesAtMaxCode) {
+  EXPECT_EQ(quantize_code(100.0f, 0, 4, RoundingMode::kNearest), 7);
+  EXPECT_EQ(quantize_code(-100.0f, 0, 4, RoundingMode::kNearest), -7);
+}
+
+TEST(QuantizeCode, TruncateNeverIncreasesMagnitude) {
+  for (float v = -4.0f; v <= 4.0f; v += 0.0625f) {
+    const auto code = quantize_code(v, 1, 4, RoundingMode::kTruncate);
+    const float deq = dequantize_code(code, 1, 4);
+    EXPECT_LE(std::abs(deq), std::abs(to_bf16(v)) + 1e-9f) << v;
+  }
+}
+
+TEST(QuantizeCode, NearestWithinHalfStep) {
+  const int scale = 2, bits = 5;
+  const float step = exp2i(scale - (bits - 2));
+  for (float v = -7.0f; v <= 7.0f; v += 0.03125f) {
+    const auto code = quantize_code(v, scale, bits, RoundingMode::kNearest);
+    const float deq = dequantize_code(code, scale, bits);
+    if (std::abs(code) < (1 << (bits - 1)) - 1) {  // not saturated
+      EXPECT_LE(std::abs(deq - to_bf16(v)), step / 2.0f + 1e-9f) << v;
+    }
+  }
+}
+
+TEST(DequantizeCode, ZeroCodeIsZero) {
+  EXPECT_EQ(dequantize_code(0, 5, 4), 0.0f);
+}
+
+TEST(DequantizeCode, PowerOfTwoScaling) {
+  EXPECT_EQ(dequantize_code(3, 0, 4), 0.75f);
+  EXPECT_EQ(dequantize_code(3, 4, 4), 12.0f);
+  EXPECT_EQ(dequantize_code(-5, 2, 4), -5.0f);
+}
+
+TEST(QuantizeCode, NanBecomesZero) {
+  EXPECT_EQ(quantize_code(std::numeric_limits<float>::quiet_NaN(), 0, 4,
+                          RoundingMode::kNearest),
+            0);
+}
+
+TEST(QuantizeCode, InfinitySaturates) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(quantize_code(inf, 0, 4, RoundingMode::kNearest), 7);
+  EXPECT_EQ(quantize_code(-inf, 0, 4, RoundingMode::kNearest), -7);
+}
+
+TEST(Bf16ExponentOf, InfNanClampToMaxFinite) {
+  EXPECT_EQ(bf16_exponent_of(std::numeric_limits<float>::infinity()), 127);
+  EXPECT_EQ(bf16_exponent_of(std::numeric_limits<float>::quiet_NaN()), 127);
+}
+
+TEST(QuantizedTensorStorage, MatchesFormatAccounting) {
+  QuantizedTensor qt;
+  qt.format = BlockFormat{128, 4, 4};
+  qt.count = 256;
+  for (int b = 0; b < 2; ++b) {
+    QuantizedBlock block;
+    block.codes.resize(128, 0);
+    for (int n = 0; n < 4; ++n) {
+      block.outliers.push_back({static_cast<std::uint16_t>(n), bfloat16{}});
+    }
+    qt.blocks.push_back(std::move(block));
+  }
+  // 8 global + 2 blocks * (4 offset + 124*4 codes + 4*(16+7) outliers).
+  EXPECT_EQ(qt.storage_bits(), 8u + 2u * (4u + 124u * 4u + 4u * 23u));
+}
+
+TEST(QuantizedTensorStorage, BlockScaleAddsOffset) {
+  QuantizedTensor qt;
+  qt.global_scale = -10;
+  QuantizedBlock block;
+  block.scale_offset = 12;
+  qt.blocks.push_back(block);
+  EXPECT_EQ(qt.block_scale(0), 2);
+}
+
+}  // namespace
+}  // namespace opal

@@ -1,0 +1,193 @@
+#include "owq/gptq.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+
+namespace opal {
+namespace {
+
+TEST(Cholesky, IdentityFactorsToIdentity) {
+  const std::vector<double> eye = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+  const auto l = cholesky(eye, 3);
+  EXPECT_EQ(l, eye);
+}
+
+TEST(Cholesky, KnownFactorization) {
+  // A = [[4,2],[2,3]] = L L^T with L = [[2,0],[1,sqrt(2)]].
+  const std::vector<double> a = {4, 2, 2, 3};
+  const auto l = cholesky(a, 2);
+  EXPECT_NEAR(l[0], 2.0, 1e-12);
+  EXPECT_NEAR(l[2], 1.0, 1e-12);
+  EXPECT_NEAR(l[3], std::sqrt(2.0), 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  const std::vector<double> a = {1, 2, 2, 1};  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky(a, 2), std::invalid_argument);
+}
+
+TEST(SpdInverse, InvertsRandomSpd) {
+  Rng rng = make_rng(1);
+  const std::size_t n = 16;
+  // A = B B^T + I is SPD.
+  std::vector<float> b(n * n);
+  fill_gaussian(rng, b, 0.0f, 1.0f);
+  std::vector<double> a(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) {
+        a[i * n + j] += static_cast<double>(b[i * n + k]) * b[j * n + k];
+      }
+    }
+    a[i * n + i] += 1.0;
+  }
+  const auto inv = spd_inverse(a, n);
+  // A * inv == I.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        sum += a[i * n + k] * inv[k * n + j];
+      }
+      EXPECT_NEAR(sum, i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(HessianAccumulator, OuterProductSums) {
+  HessianAccumulator h(3);
+  h.accumulate(std::vector<float>{1.0f, 2.0f, 0.0f});
+  h.accumulate(std::vector<float>{0.0f, 1.0f, -1.0f});
+  EXPECT_DOUBLE_EQ(h.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(h.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(h.at(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(h.at(1, 2), -1.0);
+  EXPECT_DOUBLE_EQ(h.at(2, 2), 1.0);
+  EXPECT_EQ(h.tokens_seen(), 2u);
+}
+
+TEST(HessianAccumulator, Symmetric) {
+  Rng rng = make_rng(2);
+  HessianAccumulator h(8);
+  std::vector<float> x(8);
+  for (int t = 0; t < 20; ++t) {
+    fill_gaussian(rng, x, 0.0f, 1.0f);
+    h.accumulate(x);
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_DOUBLE_EQ(h.at(i, j), h.at(j, i));
+    }
+  }
+}
+
+struct GptqFixture {
+  std::size_t rows = 32, cols = 96;
+  Matrix w;
+  HessianAccumulator hessian{96};
+  Matrix calib;
+
+  GptqFixture() {
+    Rng rng = make_rng(3);
+    w = make_weight_matrix(rng, rows, cols);
+    ActivationModel acts(4, cols, 0.02f);
+    calib = acts.sample_matrix(256);
+    for (std::size_t t = 0; t < calib.rows(); ++t) {
+      hessian.accumulate(calib.row(t));
+    }
+  }
+
+  /// Mean output MSE of dequantized weights over the calibration set.
+  [[nodiscard]] double output_mse(const Matrix& dequant) const {
+    std::vector<float> y_ref(rows), y_test(rows);
+    double total = 0.0;
+    for (std::size_t t = 0; t < calib.rows(); ++t) {
+      matvec(w, calib.row(t), y_ref);
+      matvec(dequant, calib.row(t), y_test);
+      total += mse(y_ref, y_test);
+    }
+    return total / static_cast<double>(calib.rows());
+  }
+};
+
+TEST(Gptq, BeatsRtnOnOutputError) {
+  GptqFixture fx;
+  GptqConfig gcfg;
+  gcfg.bits = 3;
+  gcfg.outlier_fraction = 0.0;
+  gcfg.group_size = 32;
+  const auto gptq = gptq_quantize(fx.w, fx.hessian, gcfg);
+
+  OwqConfig rcfg{3, 0.0, 32, true};
+  const auto rtn = owq_quantize_weight_only(fx.w, rcfg);
+
+  EXPECT_LT(fx.output_mse(gptq.dequantized),
+            fx.output_mse(rtn.dequantized) * 0.9);
+}
+
+TEST(Gptq, FpColumnsAreMostSensitive) {
+  GptqFixture fx;
+  GptqConfig gcfg;
+  gcfg.outlier_fraction = 0.03;
+  const auto result = gptq_quantize(fx.w, fx.hessian, gcfg);
+  ASSERT_FALSE(result.fp_columns.empty());
+  // Every selected column's diag(H) must exceed the median diag.
+  std::vector<double> diag(fx.cols);
+  for (std::size_t j = 0; j < fx.cols; ++j) diag[j] = fx.hessian.at(j, j);
+  std::vector<double> sorted = diag;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[fx.cols / 2];
+  for (const auto c : result.fp_columns) {
+    EXPECT_GT(diag[c], median);
+  }
+}
+
+TEST(Gptq, ActOrderHelpsOrTies) {
+  GptqFixture fx;
+  GptqConfig with;
+  with.bits = 3;
+  with.outlier_fraction = 0.0;
+  GptqConfig without = with;
+  without.act_order = false;
+  const double err_with =
+      fx.output_mse(gptq_quantize(fx.w, fx.hessian, with).dequantized);
+  const double err_without =
+      fx.output_mse(gptq_quantize(fx.w, fx.hessian, without).dequantized);
+  EXPECT_LT(err_with, err_without * 1.2);
+}
+
+TEST(Gptq, MoreBitsLowerError) {
+  GptqFixture fx;
+  GptqConfig g3, g4;
+  g3.bits = 3;
+  g4.bits = 4;
+  g3.outlier_fraction = g4.outlier_fraction = 0.0;
+  EXPECT_LT(fx.output_mse(gptq_quantize(fx.w, fx.hessian, g4).dequantized),
+            fx.output_mse(gptq_quantize(fx.w, fx.hessian, g3).dequantized));
+}
+
+TEST(Gptq, StorageMatchesOwqShape) {
+  GptqFixture fx;
+  GptqConfig gcfg;
+  gcfg.outlier_fraction = 0.02;
+  gcfg.group_size = 32;
+  const auto result = gptq_quantize(fx.w, fx.hessian, gcfg);
+  const auto n_fp = result.fp_columns.size();
+  const std::size_t expected =
+      n_fp * fx.rows * 16 +
+      (fx.cols - n_fp) * ((fx.rows / 32) * (32 * 4 + 16));
+  EXPECT_EQ(result.storage_bits, expected);
+}
+
+TEST(Gptq, DimMismatchThrows) {
+  Matrix w(4, 8);
+  HessianAccumulator h(4);
+  EXPECT_THROW(gptq_quantize(w, h, GptqConfig{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace opal

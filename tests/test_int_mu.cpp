@@ -1,0 +1,126 @@
+#include "accel/int_mu.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace opal {
+namespace {
+
+TEST(MuMode, Throughputs) {
+  EXPECT_EQ(mu_throughput(MuMode::kLowLow), 4u);
+  EXPECT_EQ(mu_throughput(MuMode::kLowHigh), 2u);
+  EXPECT_EQ(mu_throughput(MuMode::kHighHigh), 1u);
+}
+
+TEST(MuMode, Names) {
+  EXPECT_EQ(to_string(MuMode::kLowLow), "low-low");
+  EXPECT_EQ(to_string(MuMode::kLowHigh), "low-high");
+  EXPECT_EQ(to_string(MuMode::kHighHigh), "high-high");
+}
+
+TEST(MuMode, SelectionFollowsFig7) {
+  // W4 weights x A4 post-LN activations: low-low.
+  EXPECT_EQ(mode_for(4, 4, 4), MuMode::kLowLow);
+  // W4 weights x A7 activations: low-high.
+  EXPECT_EQ(mode_for(4, 7, 4), MuMode::kLowHigh);
+  // Q.K^T: A7 x A7: high-high.
+  EXPECT_EQ(mode_for(7, 7, 4), MuMode::kHighHigh);
+  // W3A3/5 variant.
+  EXPECT_EQ(mode_for(3, 3, 3), MuMode::kLowLow);
+  EXPECT_EQ(mode_for(3, 5, 3), MuMode::kLowHigh);
+  EXPECT_EQ(mode_for(5, 5, 3), MuMode::kHighHigh);
+}
+
+TEST(ComposedMultiply, LowLowIsDirect) {
+  // 3-bit magnitudes on the 4-bit array: single digit, no recombination.
+  for (int a = -7; a <= 7; ++a) {
+    for (int b = -7; b <= 7; ++b) {
+      EXPECT_EQ(composed_multiply(static_cast<std::int16_t>(a),
+                                  static_cast<std::int16_t>(b), 4, 4, 4),
+                a * b);
+    }
+  }
+}
+
+TEST(ComposedMultiply, LowHighRecombines) {
+  // 4-bit x 7-bit via two 3-bit digits + shift-by-3 (Fig 7(b)).
+  for (int a = -7; a <= 7; a += 3) {
+    for (int b = -63; b <= 63; b += 7) {
+      EXPECT_EQ(composed_multiply(static_cast<std::int16_t>(a),
+                                  static_cast<std::int16_t>(b), 4, 7, 4),
+                a * b)
+          << a << " * " << b;
+    }
+  }
+}
+
+TEST(ComposedMultiply, HighHighUsesFourPartials) {
+  // 7-bit x 7-bit via 2x2 digit grid (Fig 7(c)).
+  for (int a = -63; a <= 63; a += 13) {
+    for (int b = -63; b <= 63; b += 11) {
+      EXPECT_EQ(composed_multiply(static_cast<std::int16_t>(a),
+                                  static_cast<std::int16_t>(b), 7, 7, 4),
+                a * b)
+          << a << " * " << b;
+    }
+  }
+}
+
+TEST(ComposedMultiply, W3A5Variant) {
+  // 3-bit array: digit = 2 bits; 5-bit operands need two digits.
+  for (int a = -3; a <= 3; ++a) {
+    for (int b = -15; b <= 15; b += 5) {
+      EXPECT_EQ(composed_multiply(static_cast<std::int16_t>(a),
+                                  static_cast<std::int16_t>(b), 3, 5, 3),
+                a * b);
+    }
+  }
+  for (int a = -15; a <= 15; a += 3) {
+    for (int b = -15; b <= 15; b += 4) {
+      EXPECT_EQ(composed_multiply(static_cast<std::int16_t>(a),
+                                  static_cast<std::int16_t>(b), 5, 5, 3),
+                a * b);
+    }
+  }
+}
+
+TEST(ComposedMultiply, ZeroAndSignEdges) {
+  EXPECT_EQ(composed_multiply(0, 63, 7, 7, 4), 0);
+  EXPECT_EQ(composed_multiply(-7, 0, 4, 7, 4), 0);
+  EXPECT_EQ(composed_multiply(-7, -63, 4, 7, 4), 441);
+  EXPECT_EQ(composed_multiply(7, -63, 4, 7, 4), -441);
+}
+
+TEST(ComposedMultiply, RejectsWidthBelowArray) {
+  EXPECT_THROW(composed_multiply(1, 1, 2, 7, 4), std::invalid_argument);
+  EXPECT_THROW(composed_multiply(1, 1, 4, 7, 1), std::invalid_argument);
+}
+
+// Exhaustive property check over the full W4A7 operand range.
+class ComposedSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ComposedSweep, MatchesDirectProduct) {
+  const auto [a_bits, b_bits, low] = GetParam();
+  const int a_max = (1 << (a_bits - 1)) - 1;
+  const int b_max = (1 << (b_bits - 1)) - 1;
+  for (int a = -a_max; a <= a_max; ++a) {
+    for (int b = -b_max; b <= b_max; ++b) {
+      ASSERT_EQ(composed_multiply(static_cast<std::int16_t>(a),
+                                  static_cast<std::int16_t>(b), a_bits,
+                                  b_bits, low),
+                a * b)
+          << a << "*" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, ComposedSweep,
+    ::testing::Values(std::make_tuple(4, 7, 4), std::make_tuple(7, 7, 4),
+                      std::make_tuple(3, 5, 3), std::make_tuple(5, 5, 3),
+                      std::make_tuple(4, 4, 4), std::make_tuple(3, 3, 3)));
+
+}  // namespace
+}  // namespace opal

@@ -1,0 +1,150 @@
+// Cross-module integration tests: the full pipeline from synthetic model
+// through quantized inference to the accelerator's functional core, checking
+// that the pieces agree with each other rather than each in isolation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/core.h"
+#include "accel/device.h"
+#include "common/metrics.h"
+#include "eval/perplexity.h"
+#include "eval/schemes.h"
+#include "eval/tasks.h"
+#include "llm/engine.h"
+#include "owq/owq.h"
+#include "quant/mx_opal.h"
+
+namespace opal {
+namespace {
+
+const SyntheticModel& shared_model() {
+  // Vocab 256 keeps the PPL ceiling (== vocab) far above the damaged
+  // configurations so orderings aren't compressed by saturation.
+  static const SyntheticModel model = [] {
+    SyntheticModel m(scaled_for_eval(llama2_7b(), 128, 2, 256), 2024, 0.02f);
+    calibrate_logit_scale(m, 24, 5);
+    return m;
+  }();
+  return model;
+}
+
+TEST(Integration, Table1OrderingOnTinyModel) {
+  // The qualitative content of Table 1 on a tiny model: BF16 <= MX-OPAL
+  // W4A4/7 <= MinMax-damage ordering, and W3A3/5 MinMax blows up hardest.
+  EngineConfig teacher_cfg;
+  teacher_cfg.max_seq_len = 160;
+  InferenceEngine teacher(shared_model(), teacher_cfg);
+  const auto tokens = generate_stream(teacher, 128, 3);
+  const double ppl_bf16 = evaluate_perplexity(teacher, tokens);
+
+  const auto cal = calibrate_model(shared_model(), 48, 9);
+  auto run = [&](EngineConfig cfg) {
+    cfg.max_seq_len = 160;
+    InferenceEngine engine(shared_model(), cfg, &cal);
+    return evaluate_perplexity(engine, tokens);
+  };
+
+  const double ppl_opal47 = run(scheme_mx_opal(4, 4, 7));
+  const double ppl_minmax47 = run(scheme_minmax(4, 4, 7));
+  const double ppl_minmax35 = run(scheme_minmax(3, 3, 5));
+  const double ppl_opal35 = run(scheme_mx_opal(3, 3, 5));
+
+  EXPECT_GE(ppl_opal47, ppl_bf16 * 0.98);
+  EXPECT_LT(ppl_opal47, ppl_bf16 * 2.5);        // mild damage at W4A4/7
+  EXPECT_LT(ppl_opal47, ppl_minmax47);          // MX-OPAL wins at W4A4/7
+  EXPECT_GT(ppl_minmax35, ppl_opal35 * 2.0);    // MinMax blows up at W3A3/5
+}
+
+TEST(Integration, CoreMxvAgreesWithEngineQuantization) {
+  // Encoding an activation with the MX-OPAL quantizer and running it
+  // through the accelerator core equals quantize_dequantize + matvec.
+  ActivationModel acts(7, 256, 0.02f);
+  std::vector<float> x(256);
+  acts.sample(x);
+  Rng rng = make_rng(8);
+  const Matrix w = make_weight_matrix(rng, 64, 256);
+
+  MxOpalQuantizer quant(128, 7, 4);
+  std::vector<float> xq(x.size());
+  quant.quantize_dequantize(x, xq);
+  std::vector<float> expected(64);
+  matvec(w, xq, expected);
+
+  const OpalCore core(CoreConfig{}, TechParams{});
+  std::vector<float> out(64);
+  core.run_mxv(quant.encode(x), w, {}, 4, out);
+  // Tolerance covers the core's bf16 rounding of outlier products.
+  for (std::size_t r = 0; r < 64; ++r) {
+    EXPECT_NEAR(out[r], expected[r],
+                0.08f + 1e-2f * std::abs(expected[r]))
+        << r;
+  }
+}
+
+TEST(Integration, OwqColumnsAlignWithActivationOutliers) {
+  // End-to-end alignment: calibration-selected OWQ FP columns coincide with
+  // the model's planted outlier channels, so the distributor routes both
+  // operand outliers to FP units.
+  const auto cal = calibrate_model(shared_model(), 48, 11);
+  const auto& layer0 = shared_model().layers()[0];
+  const auto owq = owq_quantize(layer0.wq, cal[0].attn_in.hessian_diag(),
+                                OwqConfig{4, 0.02, 128});
+  const auto& planted = shared_model().outlier_channels();
+  std::size_t hits = 0;
+  for (const auto c : planted) {
+    if (owq.is_fp_column(c)) ++hits;
+  }
+  EXPECT_GE(hits, planted.size() / 2);
+}
+
+TEST(Integration, Log2SoftmaxCostIsSmallRelativeToBaseline) {
+  // §4.2: the log2 softmax approximation alone costs <0.4 PPL (~7%) on
+  // trained Llama2. Our untrained substrate is more sensitive to attention
+  // perturbation, so the bound is relative: well under 25% of baseline,
+  // an order of magnitude below what any quantization scheme costs.
+  EngineConfig teacher_cfg;
+  teacher_cfg.max_seq_len = 160;
+  InferenceEngine teacher(shared_model(), teacher_cfg);
+  const auto tokens = generate_stream(teacher, 128, 13);
+  const double base = evaluate_perplexity(teacher, tokens);
+
+  EngineConfig with_log2 = teacher_cfg;
+  with_log2.log2_softmax = true;
+  with_log2.softmax_bits = 7;
+  InferenceEngine log2_engine(shared_model(), with_log2);
+  const double log2_ppl = evaluate_perplexity(log2_engine, tokens);
+  EXPECT_LT(log2_ppl, base * 1.25);
+  EXPECT_GT(log2_ppl, base * 0.9);
+}
+
+TEST(Integration, DeviceAndEngineAgreeOnWeightCompression) {
+  // The engine's measured weight storage ratio matches the device model's
+  // buffer sizing assumption (~16/4.25 for W4).
+  InferenceEngine bf16(shared_model(), EngineConfig{});
+  InferenceEngine owq(shared_model(), scheme_owq(4));
+  const double ratio =
+      static_cast<double>(bf16.weight_storage_bits()) /
+      static_cast<double>(owq.weight_storage_bits());
+  EXPECT_NEAR(ratio, 16.0 / 4.5, 0.4);
+}
+
+TEST(Integration, FullPipelineTasksAndPpl) {
+  EngineConfig teacher_cfg;
+  teacher_cfg.max_seq_len = 64;
+  InferenceEngine teacher(shared_model(), teacher_cfg);
+  McTaskConfig tcfg;
+  tcfg.n_items = 16;
+  tcfg.prompt_len = 8;
+  const auto items = make_mc_task(teacher, tcfg);
+
+  auto cfg = scheme_mx_opal(4, 4, 7);
+  cfg.max_seq_len = 64;
+  InferenceEngine student(shared_model(), cfg);
+  const double acc = evaluate_mc_accuracy(student, items);
+  EXPECT_GE(acc, 0.5);
+  EXPECT_LE(acc, 1.0);
+}
+
+}  // namespace
+}  // namespace opal

@@ -1,0 +1,90 @@
+#include "llm/kv_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace opal {
+namespace {
+
+TEST(KvCache, AdvanceOpensStep) {
+  KvCache cache(2, 4, 8);
+  EXPECT_EQ(cache.length(), 0u);
+  cache.advance();
+  EXPECT_EQ(cache.length(), 1u);
+  std::vector<float> k = {1, 2, 3, 4}, v = {5, 6, 7, 8};
+  cache.append(0, k, v);
+  cache.append(1, k, v);
+  EXPECT_EQ(cache.length(), 1u);  // appends don't move the clock
+}
+
+TEST(KvCache, AppendBeforeAdvanceThrows) {
+  KvCache cache(1, 2, 4);
+  std::vector<float> kv = {1.0f, 2.0f};
+  EXPECT_THROW(cache.append(0, kv, kv), std::invalid_argument);
+}
+
+TEST(KvCache, StoredValuesReadable) {
+  KvCache cache(1, 3, 4);
+  cache.advance();
+  std::vector<float> k = {1, 2, 3}, v = {4, 5, 6};
+  cache.append(0, k, v);
+  EXPECT_EQ(cache.keys(0)(0, 1), 2.0f);
+  EXPECT_EQ(cache.values(0)(0, 2), 6.0f);
+}
+
+TEST(KvCache, MultipleSteps) {
+  KvCache cache(1, 2, 4);
+  for (int t = 0; t < 3; ++t) {
+    cache.advance();
+    std::vector<float> k = {static_cast<float>(t), 0.0f};
+    cache.append(0, k, k);
+  }
+  EXPECT_EQ(cache.length(), 3u);
+  EXPECT_EQ(cache.keys(0)(2, 0), 2.0f);
+  EXPECT_EQ(cache.keys(0)(0, 0), 0.0f);
+}
+
+TEST(KvCache, OverwriteWithinStep) {
+  // A layer may re-append within the same step (idempotent writes).
+  KvCache cache(1, 2, 4);
+  cache.advance();
+  std::vector<float> a = {1.0f, 1.0f}, b = {2.0f, 2.0f};
+  cache.append(0, a, a);
+  cache.append(0, b, b);
+  EXPECT_EQ(cache.keys(0)(0, 0), 2.0f);
+}
+
+TEST(KvCache, ClearResetsLength) {
+  KvCache cache(1, 2, 4);
+  cache.advance();
+  std::vector<float> kv = {1.0f, 2.0f};
+  cache.append(0, kv, kv);
+  cache.clear();
+  EXPECT_EQ(cache.length(), 0u);
+  cache.advance();
+  cache.append(0, kv, kv);
+  EXPECT_EQ(cache.length(), 1u);
+}
+
+TEST(KvCache, FullCacheThrows) {
+  KvCache cache(1, 2, 1);
+  cache.advance();
+  EXPECT_THROW(cache.advance(), std::invalid_argument);
+}
+
+TEST(KvCache, DimChecks) {
+  KvCache cache(1, 4, 4);
+  cache.advance();
+  std::vector<float> bad(3);
+  EXPECT_THROW(cache.append(0, bad, bad), std::invalid_argument);
+  EXPECT_THROW(cache.keys(5), std::invalid_argument);
+}
+
+TEST(KvCache, StorageBytesScalesWithBits) {
+  const auto b16 = KvCache::storage_bytes(32, 4096, 2048, 16);
+  const auto b7 = KvCache::storage_bytes(32, 4096, 2048, 7);
+  EXPECT_EQ(b16, 32u * 2 * 4096 * 2048 * 2);
+  EXPECT_LT(b7, b16 / 2);
+}
+
+}  // namespace
+}  // namespace opal

@@ -1,0 +1,132 @@
+#include "quant/minmax.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+
+namespace opal {
+namespace {
+
+TEST(MinMax, EndpointsRepresentedExactly) {
+  const std::vector<float> in = {-3.0f, -1.0f, 0.5f, 5.0f};
+  MinMaxQuantizer quant(4, 4);
+  std::vector<float> out(in.size());
+  quant.quantize_dequantize(in, out);
+  EXPECT_FLOAT_EQ(out[0], -3.0f);  // min maps to level 0
+  EXPECT_FLOAT_EQ(out[3], 5.0f);   // max maps to level 2^b-1
+}
+
+TEST(MinMax, ConstantBlockExact) {
+  const std::vector<float> in(16, 2.5f);
+  MinMaxQuantizer quant(16, 3);
+  std::vector<float> out(in.size());
+  quant.quantize_dequantize(in, out);
+  for (const float v : out) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(MinMax, ErrorBoundedByHalfStep) {
+  Rng rng = make_rng(5);
+  std::vector<float> in(512);
+  fill_gaussian(rng, in, 0.0f, 4.0f);
+  const int bits = 6;
+  MinMaxQuantizer quant(128, bits);
+  std::vector<float> out(in.size());
+  quant.quantize_dequantize(in, out);
+  for (std::size_t b = 0; b < 4; ++b) {
+    const auto lo = std::min_element(in.begin() + b * 128,
+                                     in.begin() + (b + 1) * 128);
+    const auto hi = std::max_element(in.begin() + b * 128,
+                                     in.begin() + (b + 1) * 128);
+    const float step = (*hi - *lo) / ((1 << bits) - 1);
+    for (std::size_t i = b * 128; i < (b + 1) * 128; ++i) {
+      EXPECT_LE(std::abs(out[i] - in[i]), step / 2 + 1e-6f) << i;
+    }
+  }
+}
+
+TEST(MinMax, OutlierStretchesGrid) {
+  // One outlier widens the step for everyone — the Fig 3(b) behaviour: the
+  // bulk collapses onto few levels.
+  std::vector<float> in(128, 0.0f);
+  Rng rng = make_rng(8);
+  fill_gaussian(rng, in, 0.0f, 0.1f);
+  in[0] = 50.0f;
+  MinMaxQuantizer quant(128, 2);
+  std::vector<float> out(in.size());
+  quant.quantize_dequantize(in, out);
+  // Grid step is ~50/3: all bulk values land on the same level.
+  std::size_t distinct = 0;
+  std::vector<float> seen;
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    if (std::find(seen.begin(), seen.end(), out[i]) == seen.end()) {
+      seen.push_back(out[i]);
+      ++distinct;
+    }
+  }
+  EXPECT_LE(distinct, 2u);
+}
+
+TEST(MinMax, IdempotentOnQuantizedData) {
+  Rng rng = make_rng(13);
+  std::vector<float> in(256);
+  fill_laplace(rng, in, 1.0f);
+  MinMaxQuantizer quant(64, 4);
+  std::vector<float> once(in.size()), twice(in.size());
+  quant.quantize_dequantize(in, once);
+  quant.quantize_dequantize(once, twice);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_NEAR(once[i], twice[i], 1e-5f) << i;
+  }
+}
+
+TEST(MinMax, InPlaceAliasingWorks) {
+  Rng rng = make_rng(14);
+  std::vector<float> data(128);
+  fill_gaussian(rng, data, 0.0f, 1.0f);
+  std::vector<float> copy = data;
+  MinMaxQuantizer quant(128, 4);
+  std::vector<float> expected(data.size());
+  quant.quantize_dequantize(copy, expected);
+  quant.quantize_dequantize(data, data);  // alias
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data[i], expected[i]) << i;
+  }
+}
+
+TEST(MinMax, StorageBits) {
+  MinMaxQuantizer quant(128, 8);
+  EXPECT_EQ(quant.storage_bits(128), 128u * 8 + 8);
+  EXPECT_EQ(quant.storage_bits(129), 129u * 8 + 16);
+}
+
+TEST(MinMax, MoreBitsMonotone) {
+  Rng rng = make_rng(15);
+  std::vector<float> in(1024);
+  fill_laplace(rng, in, 2.0f);
+  double prev = 1e300;
+  for (int bits = 2; bits <= 8; ++bits) {
+    MinMaxQuantizer quant(128, bits);
+    std::vector<float> out(in.size());
+    quant.quantize_dequantize(in, out);
+    const double err = mse(in, out);
+    EXPECT_LT(err, prev) << bits;
+    prev = err;
+  }
+}
+
+TEST(MinMax, RejectsBadConfig) {
+  EXPECT_THROW(MinMaxQuantizer(0, 4), std::invalid_argument);
+  EXPECT_THROW(MinMaxQuantizer(128, 1), std::invalid_argument);
+  EXPECT_THROW(MinMaxQuantizer(128, 16), std::invalid_argument);
+}
+
+TEST(MinMax, Name) {
+  EXPECT_EQ(MinMaxQuantizer(128, 4).name(), "MinMax4");
+}
+
+}  // namespace
+}  // namespace opal

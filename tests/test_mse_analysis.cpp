@@ -1,0 +1,96 @@
+#include "eval/mse_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "quant/minmax.h"
+#include "quant/mx_opal.h"
+#include "quant/mxint.h"
+
+namespace opal {
+namespace {
+
+const SyntheticModel& eval_model() {
+  static const SyntheticModel model = [] {
+    SyntheticModel m(scaled_for_eval(llama2_7b(), 128, 2, 64), 44);
+    calibrate_logit_scale(m, 16, 5);
+    return m;
+  }();
+  return model;
+}
+
+const SiteCapture& capture() {
+  static const SiteCapture c =
+      capture_layer_activations(eval_model(), 1, 24, 7);
+  return c;
+}
+
+TEST(SiteCapture, RecordsAllFigure4Sites) {
+  for (const auto site : SiteCapture::figure4_sites()) {
+    EXPECT_FALSE(capture().at(site).empty()) << to_string(site);
+  }
+}
+
+TEST(SiteCapture, OnlyTargetLayerRecorded) {
+  SiteCapture c(0);
+  c.record(3, RecordSite::kQuery, std::vector<float>{1.0f});
+  EXPECT_THROW(c.at(RecordSite::kQuery), std::invalid_argument);
+  c.record(0, RecordSite::kQuery, std::vector<float>{1.0f});
+  EXPECT_EQ(c.at(RecordSite::kQuery).size(), 1u);
+}
+
+TEST(SiteCapture, VectorsConcatenated) {
+  const auto& q = capture().at(RecordSite::kQuery);
+  // 24 tokens x d_model values.
+  EXPECT_EQ(q.size(), 24u * eval_model().config().d_model);
+}
+
+TEST(SiteMse, LowerForMoreBits) {
+  const MxOpalQuantizer q4(128, 4, 4);
+  const MxOpalQuantizer q8(128, 8, 4);
+  for (const auto site : SiteCapture::figure4_sites()) {
+    EXPECT_LE(site_mse(capture(), site, q8),
+              site_mse(capture(), site, q4) * 1.001)
+        << to_string(site);
+  }
+}
+
+TEST(RelativeMse, MxOpalBeatsMxIntOnPostLnSites) {
+  // Fig 4's headline: MXINT is several times worse than MinMax on
+  // outlier-bearing activations, MX-OPAL(n=4) is comparable or better.
+  const MinMaxQuantizer baseline(128, 4);
+  const MxIntQuantizer mxint(128, 4);
+  const MxOpalQuantizer opal(128, 4, 4);
+  const auto s_mxint =
+      relative_mse_series(capture(), mxint, baseline, "MXINT");
+  const auto s_opal =
+      relative_mse_series(capture(), opal, baseline, "MX-OPAL n=4");
+  EXPECT_GT(s_mxint.average, s_opal.average);
+  EXPECT_LT(s_opal.average, 2.0);  // near or below the MinMax bar
+}
+
+TEST(RelativeMse, SeriesShapes) {
+  const MinMaxQuantizer baseline(128, 4);
+  const MxOpalQuantizer opal(128, 4, 2);
+  const auto series =
+      relative_mse_series(capture(), opal, baseline, "test");
+  EXPECT_EQ(series.per_site.size(), 6u);
+  EXPECT_EQ(series.name, "test");
+  double sum = 0.0;
+  for (const double v : series.per_site) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(series.average, sum / 6.0, 1e-12);
+}
+
+TEST(RelativeMse, PreservingMoreOutliersHelps) {
+  const MinMaxQuantizer baseline(128, 4);
+  const MxOpalQuantizer n1(128, 4, 1);
+  const MxOpalQuantizer n8(128, 4, 8);
+  const auto s1 = relative_mse_series(capture(), n1, baseline, "n=1");
+  const auto s8 = relative_mse_series(capture(), n8, baseline, "n=8");
+  EXPECT_LE(s8.average, s1.average * 1.05);
+}
+
+}  // namespace
+}  // namespace opal

@@ -1,0 +1,127 @@
+#include "quant/mxfp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "quant/mxint.h"
+
+namespace opal {
+namespace {
+
+TEST(MiniFloat, E2m1Parameters) {
+  const auto fmt = MiniFloatFormat::e2m1();
+  EXPECT_EQ(fmt.bias(), 1);
+  EXPECT_EQ(fmt.max_exponent(), 2);
+  EXPECT_EQ(fmt.total_bits(), 4);
+  EXPECT_EQ(fmt.max_value(), 6.0f);  // 1.5 * 2^2, the FP4 max
+}
+
+TEST(MiniFloat, E4m3Parameters) {
+  const auto fmt = MiniFloatFormat::e4m3();
+  EXPECT_EQ(fmt.bias(), 7);
+  EXPECT_EQ(fmt.max_exponent(), 8);
+  EXPECT_EQ(fmt.max_value(), (2.0f - 0.125f) * 256.0f);
+}
+
+TEST(MiniFloat, E2m1RepresentableValuesExact) {
+  // The full positive FP4 (e2m1) value set.
+  const auto fmt = MiniFloatFormat::e2m1();
+  for (const float v : {0.0f, 0.5f, 1.0f, 1.5f, 2.0f, 3.0f, 4.0f, 6.0f}) {
+    EXPECT_EQ(round_to_minifloat(v, fmt), v) << v;
+    EXPECT_EQ(round_to_minifloat(-v, fmt), -v) << v;
+  }
+}
+
+TEST(MiniFloat, RoundsToNearest) {
+  const auto fmt = MiniFloatFormat::e2m1();
+  EXPECT_EQ(round_to_minifloat(1.2f, fmt), 1.0f);
+  EXPECT_EQ(round_to_minifloat(1.3f, fmt), 1.5f);
+  EXPECT_EQ(round_to_minifloat(2.4f, fmt), 2.0f);
+  EXPECT_EQ(round_to_minifloat(2.6f, fmt), 3.0f);
+}
+
+TEST(MiniFloat, SubnormalsRepresented) {
+  // e2m1 subnormal step at exponent 1-bias = 0 is 2^-1.
+  const auto fmt = MiniFloatFormat::e2m1();
+  EXPECT_EQ(round_to_minifloat(0.5f, fmt), 0.5f);
+  EXPECT_EQ(round_to_minifloat(0.2f, fmt), 0.0f);
+  EXPECT_EQ(round_to_minifloat(0.3f, fmt), 0.5f);
+}
+
+TEST(MiniFloat, Saturates) {
+  const auto fmt = MiniFloatFormat::e2m1();
+  EXPECT_EQ(round_to_minifloat(100.0f, fmt), 6.0f);
+  EXPECT_EQ(round_to_minifloat(-100.0f, fmt), -6.0f);
+}
+
+TEST(MiniFloat, IdempotentOnItsOwnOutputs) {
+  const auto fmt = MiniFloatFormat::e3m2();
+  Rng rng = make_rng(1);
+  std::vector<float> v(1000);
+  fill_gaussian(rng, v, 0.0f, 4.0f);
+  for (const float x : v) {
+    const float once = round_to_minifloat(x, fmt);
+    EXPECT_EQ(round_to_minifloat(once, fmt), once) << x;
+  }
+}
+
+TEST(MxFp, Names) {
+  EXPECT_EQ(MxFpQuantizer(32, MiniFloatFormat::e2m1()).name(),
+            "MXFP4(e2m1)");
+  EXPECT_EQ(MxFpQuantizer(32, MiniFloatFormat::e3m2()).name(),
+            "MXFP6(e3m2)");
+}
+
+TEST(MxFp, MaxElementNearTopOfRange) {
+  // The block max lands within one binade of the element-format max.
+  std::vector<float> block = {48.0f, 1.0f, 0.25f, -3.0f};
+  MxFpQuantizer quant(4, MiniFloatFormat::e2m1());
+  std::vector<float> out(block.size());
+  quant.quantize_dequantize(block, out);
+  EXPECT_NEAR(out[0], 48.0f, 8.0f);
+}
+
+TEST(MxFp, GracefulUnderOutliersVsMxInt) {
+  // Same 4 bits/element: FP elements keep per-element exponents, so a block
+  // outlier does not zero the bulk the way MXINT4 does.
+  ActivationModel acts(9, 1024, 0.02f);
+  std::vector<float> x(1024);
+  acts.sample(x);
+  MxFpQuantizer mxfp(128, MiniFloatFormat::e2m1());
+  MxIntQuantizer mxint(128, 4);
+  std::vector<float> out_fp(x.size()), out_int(x.size());
+  mxfp.quantize_dequantize(x, out_fp);
+  mxint.quantize_dequantize(x, out_int);
+  EXPECT_LT(mse(x, out_fp), mse(x, out_int));
+}
+
+TEST(MxFp, ZeroBlock) {
+  std::vector<float> x(16, 0.0f), out(16, 1.0f);
+  MxFpQuantizer quant(16, MiniFloatFormat::e2m3());
+  quant.quantize_dequantize(x, out);
+  for (const float v : out) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(MxFp, StorageBits) {
+  MxFpQuantizer quant(128, MiniFloatFormat::e2m3());
+  EXPECT_EQ(quant.storage_bits(128), 128u * 6 + 8);
+  EXPECT_EQ(quant.storage_bits(256), 256u * 6 + 16);
+}
+
+TEST(MxFp, MoreMantissaBitsLowerError) {
+  Rng rng = make_rng(11);
+  std::vector<float> x(2048);
+  fill_laplace(rng, x, 1.0f);
+  std::vector<float> out4(x.size()), out6(x.size());
+  MxFpQuantizer fp4(128, MiniFloatFormat::e2m1());
+  MxFpQuantizer fp6(128, MiniFloatFormat::e2m3());
+  fp4.quantize_dequantize(x, out4);
+  fp6.quantize_dequantize(x, out6);
+  EXPECT_LT(mse(x, out6), mse(x, out4));
+}
+
+}  // namespace
+}  // namespace opal

@@ -1,0 +1,101 @@
+#include "llm/norm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace opal {
+namespace {
+
+TEST(Norm, RmsNormUnitGainUnitRms) {
+  Rng rng = make_rng(1);
+  std::vector<float> in(256), out(256);
+  fill_gaussian(rng, in, 0.0f, 5.0f);
+  Norm norm(NormKind::kRmsNorm, std::vector<float>(256, 1.0f));
+  norm.apply(in, out);
+  double ss = 0.0;
+  for (const float v : out) ss += static_cast<double>(v) * v;
+  EXPECT_NEAR(std::sqrt(ss / 256.0), 1.0, 1e-3);
+}
+
+TEST(Norm, LayerNormZeroMeanUnitVar) {
+  Rng rng = make_rng(2);
+  std::vector<float> in(256), out(256);
+  fill_gaussian(rng, in, 3.0f, 2.0f);
+  Norm norm(NormKind::kLayerNorm, std::vector<float>(256, 1.0f));
+  norm.apply(in, out);
+  const double mean =
+      std::accumulate(out.begin(), out.end(), 0.0) / 256.0;
+  double var = 0.0;
+  for (const float v : out) var += (v - mean) * (v - mean);
+  var /= 256.0;
+  EXPECT_NEAR(mean, 0.0, 1e-4);
+  EXPECT_NEAR(var, 1.0, 1e-2);
+}
+
+TEST(Norm, RmsNormKeepsMean) {
+  // RMSNorm does not subtract the mean (unlike LayerNorm).
+  std::vector<float> in = {1.0f, 1.0f, 1.0f, 1.0f};
+  std::vector<float> out(4);
+  Norm norm(NormKind::kRmsNorm, std::vector<float>(4, 1.0f));
+  norm.apply(in, out);
+  for (const float v : out) EXPECT_NEAR(v, 1.0f, 1e-3f);
+}
+
+TEST(Norm, GainAmplifiesChannels) {
+  std::vector<float> gain(8, 1.0f);
+  gain[3] = 20.0f;
+  Norm norm(NormKind::kRmsNorm, gain);
+  Rng rng = make_rng(3);
+  std::vector<float> in(8), out(8);
+  fill_gaussian(rng, in, 0.0f, 1.0f);
+  in[3] = 1.0f;
+  norm.apply(in, out);
+  // Channel 3's output is 20x what unit gain would give.
+  std::vector<float> unit_out(8);
+  Norm unit(NormKind::kRmsNorm, std::vector<float>(8, 1.0f));
+  unit.apply(in, unit_out);
+  EXPECT_NEAR(out[3], 20.0f * unit_out[3], 1e-4f);
+}
+
+TEST(Norm, AliasingInOut) {
+  Rng rng = make_rng(4);
+  std::vector<float> data(64), expected(64);
+  fill_gaussian(rng, data, 0.0f, 2.0f);
+  std::vector<float> copy = data;
+  Norm norm(NormKind::kLayerNorm, std::vector<float>(64, 1.0f));
+  norm.apply(copy, expected);
+  norm.apply(data, data);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(data[i], expected[i]);
+}
+
+TEST(Norm, DimMismatchThrows) {
+  Norm norm(NormKind::kRmsNorm, std::vector<float>(8, 1.0f));
+  std::vector<float> in(4), out(8);
+  EXPECT_THROW(norm.apply(in, out), std::invalid_argument);
+}
+
+TEST(Activation, ReluClampsNegatives) {
+  std::vector<float> x = {-1.0f, 0.0f, 2.0f};
+  apply_activation(ActivationKind::kReLU, x);
+  EXPECT_EQ(x, (std::vector<float>{0.0f, 0.0f, 2.0f}));
+}
+
+TEST(Activation, SiluMatchesDefinition) {
+  std::vector<float> x = {1.0f, -2.0f};
+  apply_activation(ActivationKind::kSiLU, x);
+  EXPECT_NEAR(x[0], 1.0f / (1.0f + std::exp(-1.0f)), 1e-6f);
+  EXPECT_NEAR(x[1], -2.0f / (1.0f + std::exp(2.0f)), 1e-6f);
+}
+
+TEST(Activation, GeluNearIdentityForLargePositive) {
+  std::vector<float> x = {10.0f};
+  apply_activation(ActivationKind::kGeLU, x);
+  EXPECT_NEAR(x[0], 10.0f, 1e-3f);
+}
+
+}  // namespace
+}  // namespace opal

@@ -1,0 +1,71 @@
+#include "quant/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "quant/minmax.h"
+#include "quant/mx_opal.h"
+#include "quant/mxint.h"
+
+namespace opal {
+namespace {
+
+TEST(Policy, A47BitsPerSite) {
+  const auto policy = policy_a4_7(QuantScheme::kMxOpal);
+  EXPECT_EQ(policy.bits_for(ActivationSite::kPostLayerNorm), 4);
+  EXPECT_EQ(policy.bits_for(ActivationSite::kAttentionInput), 7);
+  EXPECT_EQ(policy.bits_for(ActivationSite::kGeneral), 7);
+  EXPECT_EQ(policy.label(), "A4/7");
+}
+
+TEST(Policy, A35BitsPerSite) {
+  const auto policy = policy_a3_5(QuantScheme::kMinMax);
+  EXPECT_EQ(policy.bits_for(ActivationSite::kPostLayerNorm), 3);
+  EXPECT_EQ(policy.bits_for(ActivationSite::kGeneral), 5);
+  EXPECT_EQ(policy.label(), "A3/5");
+}
+
+TEST(Policy, UniformLabel) {
+  EXPECT_EQ(policy_uniform(QuantScheme::kMxOpal, 7).label(), "A7");
+  EXPECT_EQ(policy_bf16().label(), "A16");
+}
+
+TEST(Policy, FactoryBuildsMatchingQuantizer) {
+  const auto policy = policy_a4_7(QuantScheme::kMxOpal);
+  const auto low = policy.make_quantizer(ActivationSite::kPostLayerNorm);
+  const auto high = policy.make_quantizer(ActivationSite::kGeneral);
+  ASSERT_NE(low, nullptr);
+  ASSERT_NE(high, nullptr);
+  EXPECT_EQ(low->name(), "MX-OPAL4");
+  EXPECT_EQ(high->name(), "MX-OPAL7");
+  EXPECT_NE(dynamic_cast<const MxOpalQuantizer*>(low.get()), nullptr);
+}
+
+TEST(Policy, MinMaxAndMxIntFactories) {
+  const auto mm = policy_a4_7(QuantScheme::kMinMax)
+                      .make_quantizer(ActivationSite::kGeneral);
+  EXPECT_NE(dynamic_cast<const MinMaxQuantizer*>(mm.get()), nullptr);
+  const auto mx = policy_a4_7(QuantScheme::kMxInt)
+                      .make_quantizer(ActivationSite::kGeneral);
+  EXPECT_NE(dynamic_cast<const MxIntQuantizer*>(mx.get()), nullptr);
+}
+
+TEST(Policy, Bf16ReturnsNull) {
+  const auto policy = policy_bf16();
+  EXPECT_EQ(policy.make_quantizer(ActivationSite::kGeneral), nullptr);
+  EXPECT_EQ(policy.make_quantizer(ActivationSite::kPostLayerNorm), nullptr);
+}
+
+TEST(Policy, SchemeNames) {
+  EXPECT_EQ(to_string(QuantScheme::kNone), "BF16");
+  EXPECT_EQ(to_string(QuantScheme::kMinMax), "MinMax");
+  EXPECT_EQ(to_string(QuantScheme::kMxInt), "MXINT");
+  EXPECT_EQ(to_string(QuantScheme::kMxOpal), "MX-OPAL");
+}
+
+TEST(Policy, SiteNames) {
+  EXPECT_EQ(to_string(ActivationSite::kPostLayerNorm), "post-LN");
+  EXPECT_EQ(to_string(ActivationSite::kGeneral), "general");
+}
+
+}  // namespace
+}  // namespace opal

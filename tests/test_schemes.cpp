@@ -1,0 +1,73 @@
+#include "eval/schemes.h"
+
+#include <gtest/gtest.h>
+
+namespace opal {
+namespace {
+
+TEST(Schemes, Table1RowOrderMatchesPaper) {
+  const auto rows = table1_schemes();
+  ASSERT_EQ(rows.size(), 9u);
+  EXPECT_EQ(rows[0].label, "bfloat16 (BF16)");
+  EXPECT_EQ(rows[1].label, "W4A16 (OWQ)");
+  EXPECT_EQ(rows[2].label, "W4A7 (MinMax)");
+  EXPECT_EQ(rows[3].label, "W4A7 (MX-OPAL)");
+  EXPECT_EQ(rows[4].label, "W4A4/7 (MinMax)");
+  EXPECT_EQ(rows[5].label, "W4A4/7 (MX-OPAL)");
+  EXPECT_EQ(rows[6].label, "W3A16 (OWQ)");
+  EXPECT_EQ(rows[7].label, "W3A3/5 (MinMax)");
+  EXPECT_EQ(rows[8].label, "W3A3/5 (MX-OPAL)");
+}
+
+TEST(Schemes, Bf16RowIsUnquantized) {
+  const auto rows = table1_schemes();
+  EXPECT_FALSE(rows[0].config.weight_quant.has_value());
+  EXPECT_EQ(rows[0].config.act_policy.scheme, QuantScheme::kNone);
+}
+
+TEST(Schemes, OwqRowsKeepBf16Activations) {
+  const auto cfg = scheme_owq(3);
+  ASSERT_TRUE(cfg.weight_quant.has_value());
+  EXPECT_EQ(cfg.weight_quant->bits, 3);
+  EXPECT_EQ(cfg.act_policy.scheme, QuantScheme::kNone);
+  EXPECT_FALSE(cfg.log2_softmax);
+}
+
+TEST(Schemes, MxOpalRowsAreFormatOnlyByDefault) {
+  // Table 1/2 compare data formats (§5.1); the log2 softmax is evaluated
+  // separately (§4.2) and must be opt-in.
+  const auto cfg = scheme_mx_opal(3, 3, 5);
+  EXPECT_FALSE(cfg.log2_softmax);
+  EXPECT_EQ(cfg.softmax_bits, 5);
+  EXPECT_EQ(cfg.act_policy.scheme, QuantScheme::kMxOpal);
+  EXPECT_EQ(cfg.act_policy.low_bits, 3);
+  EXPECT_EQ(cfg.act_policy.high_bits, 5);
+  EXPECT_EQ(cfg.act_policy.outliers, 4u);
+
+  const auto hw = scheme_mx_opal(4, 4, 7, /*log2_softmax=*/true);
+  EXPECT_TRUE(hw.log2_softmax);
+  EXPECT_EQ(hw.softmax_bits, 7);
+}
+
+TEST(Schemes, MinMaxRowsUseFpSoftmax) {
+  const auto cfg = scheme_minmax(4, 4, 7);
+  EXPECT_FALSE(cfg.log2_softmax);
+  EXPECT_EQ(cfg.act_policy.scheme, QuantScheme::kMinMax);
+}
+
+TEST(Schemes, Table2HasFourRows) {
+  const auto rows = table2_schemes();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].label, "OWQ W4A16");
+  EXPECT_EQ(rows[1].label, "MX-OPAL W4A4/7");
+  EXPECT_EQ(rows[2].label, "OWQ W3A16");
+  EXPECT_EQ(rows[3].label, "MX-OPAL W3A3/5");
+}
+
+TEST(Schemes, WeightOutlierFractionsFollowPaper) {
+  EXPECT_NEAR(scheme_owq(4).weight_quant->outlier_fraction, 0.0025, 1e-9);
+  EXPECT_NEAR(scheme_owq(3).weight_quant->outlier_fraction, 0.0033, 1e-9);
+}
+
+}  // namespace
+}  // namespace opal

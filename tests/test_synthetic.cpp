@@ -1,0 +1,104 @@
+#include "llm/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace opal {
+namespace {
+
+ModelConfig tiny_config() {
+  return scaled_for_eval(llama2_7b(), 128, 2, 64);
+}
+
+TEST(SyntheticModel, ShapesMatchConfig) {
+  const SyntheticModel model(tiny_config(), 42);
+  const auto& cfg = model.config();
+  ASSERT_EQ(model.layers().size(), cfg.n_layers);
+  const auto& l0 = model.layers()[0];
+  EXPECT_EQ(l0.wq.rows(), cfg.d_model);
+  EXPECT_EQ(l0.wq.cols(), cfg.d_model);
+  EXPECT_EQ(l0.w_fc1.rows(), cfg.d_ffn);
+  EXPECT_EQ(l0.w_fc1.cols(), cfg.d_model);
+  EXPECT_EQ(l0.w_fc2.rows(), cfg.d_model);
+  EXPECT_EQ(l0.w_fc2.cols(), cfg.d_ffn);
+  EXPECT_EQ(l0.attn_norm_gain.size(), cfg.d_model);
+  EXPECT_EQ(model.embedding().rows(), cfg.vocab);
+  EXPECT_EQ(model.embedding().cols(), cfg.d_model);
+}
+
+TEST(SyntheticModel, Deterministic) {
+  const SyntheticModel a(tiny_config(), 7);
+  const SyntheticModel b(tiny_config(), 7);
+  EXPECT_EQ(a.outlier_channels(), b.outlier_channels());
+  for (std::size_t i = 0; i < a.layers()[0].wq.size(); ++i) {
+    EXPECT_EQ(a.layers()[0].wq.flat()[i], b.layers()[0].wq.flat()[i]);
+  }
+}
+
+TEST(SyntheticModel, DifferentSeedsDiffer) {
+  const SyntheticModel a(tiny_config(), 1);
+  const SyntheticModel b(tiny_config(), 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.layers()[0].wq.size(); ++i) {
+    if (a.layers()[0].wq.flat()[i] != b.layers()[0].wq.flat()[i]) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticModel, OutlierGainsPlantedInNorms) {
+  const SyntheticModel model(tiny_config(), 13, 0.02f, 24.0f);
+  const auto& gain = model.layers()[0].attn_norm_gain;
+  double outlier_gain = 0.0, bulk_gain = 0.0;
+  std::size_t n_out = 0, n_bulk = 0;
+  for (std::size_t c = 0; c < gain.size(); ++c) {
+    const bool is_outlier =
+        std::find(model.outlier_channels().begin(),
+                  model.outlier_channels().end(),
+                  c) != model.outlier_channels().end();
+    if (is_outlier) {
+      outlier_gain += gain[c];
+      ++n_out;
+    } else {
+      bulk_gain += gain[c];
+      ++n_bulk;
+    }
+  }
+  ASSERT_GT(n_out, 0u);
+  outlier_gain /= static_cast<double>(n_out);
+  bulk_gain /= static_cast<double>(n_bulk);
+  EXPECT_GT(outlier_gain, 8.0 * bulk_gain);
+}
+
+TEST(SyntheticModel, OutlierChannelsSharedAcrossLayers) {
+  // The same d_model channels are amplified in every layer, which is what
+  // makes OWQ's calibration-time column selection work at run time.
+  const SyntheticModel model(tiny_config(), 17);
+  ASSERT_GE(model.config().n_layers, 2u);
+  const auto& c0 = model.layers()[0].attn_norm_gain;
+  const auto& c1 = model.layers()[1].attn_norm_gain;
+  for (const auto ch : model.outlier_channels()) {
+    EXPECT_GT(c0[ch], 5.0f);
+    EXPECT_GT(c1[ch], 5.0f);
+  }
+}
+
+TEST(SyntheticModel, LogitScaleSettable) {
+  SyntheticModel model(tiny_config(), 19);
+  EXPECT_EQ(model.logit_scale(), 1.0f);
+  model.set_logit_scale(0.5f);
+  EXPECT_EQ(model.logit_scale(), 0.5f);
+}
+
+TEST(SyntheticModel, FfnOutlierChannelsWithinRange) {
+  const SyntheticModel model(tiny_config(), 23);
+  for (const auto c : model.ffn_outlier_channels()) {
+    EXPECT_LT(c, model.config().d_ffn);
+  }
+}
+
+}  // namespace
+}  // namespace opal

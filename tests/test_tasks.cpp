@@ -1,0 +1,109 @@
+#include "eval/tasks.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/schemes.h"
+
+namespace opal {
+namespace {
+
+const SyntheticModel& eval_model() {
+  static const SyntheticModel model = [] {
+    SyntheticModel m(scaled_for_eval(llama2_7b(), 128, 2, 64), 43);
+    calibrate_logit_scale(m, 24, 5);
+    return m;
+  }();
+  return model;
+}
+
+McTaskConfig small_task() {
+  McTaskConfig cfg;
+  cfg.n_items = 24;
+  cfg.prompt_len = 8;
+  return cfg;
+}
+
+TEST(McTask, ItemShapes) {
+  EngineConfig ecfg;
+  ecfg.max_seq_len = 32;
+  InferenceEngine teacher(eval_model(), ecfg);
+  const auto items = make_mc_task(teacher, small_task());
+  ASSERT_EQ(items.size(), 24u);
+  for (const auto& item : items) {
+    EXPECT_EQ(item.prompt.size(), 8u);
+    EXPECT_EQ(item.candidates.size(), 4u);
+    EXPECT_LT(item.correct, item.candidates.size());
+    // Candidates are distinct tokens.
+    for (std::size_t a = 0; a < item.candidates.size(); ++a) {
+      for (std::size_t b = a + 1; b < item.candidates.size(); ++b) {
+        EXPECT_NE(item.candidates[a], item.candidates[b]);
+      }
+    }
+  }
+}
+
+TEST(McTask, TeacherScoresPerfectly) {
+  // By construction the answer key is the teacher's own argmax.
+  EngineConfig ecfg;
+  ecfg.max_seq_len = 32;
+  InferenceEngine teacher(eval_model(), ecfg);
+  const auto items = make_mc_task(teacher, small_task());
+  EXPECT_EQ(evaluate_mc_accuracy(teacher, items), 1.0);
+}
+
+TEST(McTask, AggressiveQuantizationLosesAccuracy) {
+  EngineConfig ecfg;
+  ecfg.max_seq_len = 32;
+  InferenceEngine teacher(eval_model(), ecfg);
+  McTaskConfig tcfg = small_task();
+  tcfg.n_items = 48;
+  const auto items = make_mc_task(teacher, tcfg);
+
+  auto harsh = scheme_minmax(3, 3, 5);
+  harsh.max_seq_len = 32;
+  InferenceEngine student(eval_model(), harsh);
+  const double acc = evaluate_mc_accuracy(student, items);
+  EXPECT_LT(acc, 1.0);
+  EXPECT_GE(acc, 0.0);
+}
+
+TEST(McTask, MildQuantizationCloseToTeacher) {
+  EngineConfig ecfg;
+  ecfg.max_seq_len = 32;
+  InferenceEngine teacher(eval_model(), ecfg);
+  McTaskConfig tcfg = small_task();
+  tcfg.n_items = 48;
+  const auto items = make_mc_task(teacher, tcfg);
+
+  auto mild = scheme_mx_opal(4, 4, 7);
+  mild.max_seq_len = 32;
+  InferenceEngine student(eval_model(), mild);
+  EXPECT_GE(evaluate_mc_accuracy(student, items), 0.6);
+}
+
+TEST(McTask, DeterministicGivenSeed) {
+  EngineConfig ecfg;
+  ecfg.max_seq_len = 32;
+  InferenceEngine teacher(eval_model(), ecfg);
+  const auto a = make_mc_task(teacher, small_task());
+  const auto b = make_mc_task(teacher, small_task());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].prompt, b[i].prompt);
+    EXPECT_EQ(a[i].candidates, b[i].candidates);
+    EXPECT_EQ(a[i].correct, b[i].correct);
+  }
+}
+
+TEST(McTask, RejectsDegenerateConfigs) {
+  EngineConfig ecfg;
+  ecfg.max_seq_len = 32;
+  InferenceEngine teacher(eval_model(), ecfg);
+  McTaskConfig bad = small_task();
+  bad.n_candidates = 1;
+  EXPECT_THROW(make_mc_task(teacher, bad), std::invalid_argument);
+  EXPECT_THROW(evaluate_mc_accuracy(teacher, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace opal

@@ -1,0 +1,84 @@
+#include "accel/tech.h"
+
+#include <gtest/gtest.h>
+
+namespace opal {
+namespace {
+
+TEST(CoreCost, Table3TotalsWithinTwoPercent) {
+  // Table 3 (one W4A4/7 core): the calibrated component library must
+  // reproduce the published per-block aggregates.
+  const auto cost = core_cost(CoreConfig{}, TechParams{});
+  EXPECT_NEAR(cost.lanes.area_um2, 670126.34, 0.02 * 670126.34);
+  EXPECT_NEAR(cost.lanes.power_mw, 229.65, 0.02 * 229.65);
+  EXPECT_NEAR(cost.distributors.area_um2, 139713.48, 0.02 * 139713.48);
+  EXPECT_NEAR(cost.distributors.power_mw, 63.20, 0.02 * 63.20);
+  EXPECT_NEAR(cost.softmax.area_um2, 76330.92, 1.0);
+  EXPECT_NEAR(cost.softmax.power_mw, 27.62, 0.01);
+  EXPECT_NEAR(cost.quantizer.area_um2, 34670.88, 1.0);
+  EXPECT_NEAR(cost.quantizer.power_mw, 14.11, 0.01);
+  EXPECT_NEAR(cost.fp_adder_tree.area_um2, 8470.80, 1.0);
+  EXPECT_NEAR(cost.total_area_um2(), 929312.41, 0.02 * 929312.41);
+  EXPECT_NEAR(cost.total_power_mw(), 335.85, 0.02 * 335.85);
+}
+
+TEST(CoreCost, LanesDominateAsInPaper) {
+  // "most of the power and area (72% and 68%) is consumed by lanes".
+  const auto cost = core_cost(CoreConfig{}, TechParams{});
+  EXPECT_NEAR(cost.lanes.area_um2 / cost.total_area_um2(), 0.72, 0.03);
+  EXPECT_NEAR(cost.lanes.power_mw / cost.total_power_mw(), 0.68, 0.03);
+}
+
+TEST(CoreCost, LowBitVariantSmaller) {
+  CoreConfig w35;
+  w35.low_bits = 3;
+  w35.high_bits = 5;
+  const auto cost35 = core_cost(w35, TechParams{});
+  const auto cost47 = core_cost(CoreConfig{}, TechParams{});
+  EXPECT_LT(cost35.total_area_um2(), cost47.total_area_um2());
+  EXPECT_LT(cost35.total_power_mw(), cost47.total_power_mw());
+  // Only the INT MUs shrink; fixed blocks are unchanged.
+  EXPECT_EQ(cost35.softmax.area_um2, cost47.softmax.area_um2);
+}
+
+TEST(SoftmaxUnit, PaperSavingsVsConventional) {
+  // §4.3.3: log2 softmax cuts 32.3% area and 35.7% power, i.e. 1.56x power
+  // efficiency.
+  const TechParams tech;
+  const auto conv = conventional_softmax_cost(tech);
+  EXPECT_NEAR(1.0 - tech.log2_softmax_area / conv.area_um2, 0.323, 1e-6);
+  EXPECT_NEAR(1.0 - tech.log2_softmax_power / conv.power_mw, 0.357, 1e-6);
+  EXPECT_NEAR(conv.power_mw / tech.log2_softmax_power, 1.556, 0.01);
+}
+
+TEST(QuantizerUnit, ShiftBasedCheaperThanDividerBased) {
+  const TechParams tech;
+  const auto divider = minmax_quantizer_cost(tech);
+  EXPECT_GT(divider.area_um2, tech.mx_quantizer_area * 2.0);
+  EXPECT_GT(divider.power_mw, tech.mx_quantizer_power * 2.0);
+}
+
+TEST(MacThroughput, PaperNumbers) {
+  const CoreConfig cfg;
+  EXPECT_EQ(cfg.macs_per_cycle_high_high(), 256u);
+  EXPECT_EQ(cfg.macs_per_cycle_low_high(), 512u);
+  EXPECT_EQ(cfg.macs_per_cycle_low_low(), 1024u);
+  EXPECT_EQ(cfg.fp_macs_per_cycle(), 32u);
+}
+
+TEST(MacEnergy, ScalesInverselyWithThroughput) {
+  const TechParams tech;
+  const double hh = tech.int_mac_energy_pj(4, 7, 1);
+  const double lh = tech.int_mac_energy_pj(4, 7, 2);
+  const double ll = tech.int_mac_energy_pj(4, 7, 4);
+  EXPECT_NEAR(hh / lh, 2.0, 1e-9);
+  EXPECT_NEAR(hh / ll, 4.0, 1e-9);
+}
+
+TEST(MacEnergy, IntWellBelowFp) {
+  const TechParams tech;
+  EXPECT_LT(tech.int_mac_energy_pj(4, 7, 1), tech.fp_mac_energy_pj());
+}
+
+}  // namespace
+}  // namespace opal
