@@ -1,0 +1,86 @@
+// Batched serving demo: one shared PreparedModel (quantized once), a
+// ServingEngine with continuous batching, and more requests than batch
+// slots — sequences at different positions decode together, finished slots
+// refill from the queue mid-flight, and the per-step decode fans out across
+// a small thread pool.
+//
+//   quantize once -> submit 6 requests -> 4 slots -> drain -> report
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "eval/schemes.h"
+#include "llm/engine.h"
+#include "llm/serving_engine.h"
+
+int main() {
+  using namespace opal;
+
+  const auto cfg = scaled_for_eval(llama2_7b(), 128, 3, 256);
+  SyntheticModel model(cfg, 7);
+  calibrate_logit_scale(model, 24, 8);
+  const auto calibration = calibrate_model(model, 48, 9);
+
+  EngineConfig engine_cfg = scheme_mx_opal(4, 4, 7);
+  engine_cfg.max_seq_len = 96;
+
+  const auto t_prep0 = std::chrono::steady_clock::now();
+  auto prepared = std::make_shared<const PreparedModel>(model, engine_cfg,
+                                                        &calibration);
+  const auto t_prep1 = std::chrono::steady_clock::now();
+  std::printf("PreparedModel: %s, %.1f%% fp weights, %zu KiB packed "
+              "(quantized once, shared by every sequence)\n",
+              prepared->config().label().c_str(),
+              100.0 * prepared->fp_weight_fraction(),
+              prepared->weight_storage_bits() / 8 / 1024);
+
+  ServingConfig serving_cfg;
+  serving_cfg.max_batch = 4;
+  serving_cfg.n_threads = 2;
+  ServingEngine engine(prepared, serving_cfg);
+
+  const std::vector<Request> requests = {
+      {{11, 3, 52, 9}, 24},
+      {{200, 17}, 40},
+      {{5, 5, 5, 5, 5, 5, 5, 5}, 16},
+      {{99}, 48},
+      {{42, 120, 7, 33, 81}, 32},
+      {{250, 251, 252}, 20},
+  };
+  std::vector<RequestId> ids;
+  for (const auto& req : requests) ids.push_back(engine.submit(req));
+  std::printf("\nsubmitted %zu requests into %zu batch slots "
+              "(%zu decode threads)\n\n",
+              requests.size(), serving_cfg.max_batch, serving_cfg.n_threads);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t steps = 0, decoded = 0;
+  while (true) {
+    const std::size_t n = engine.step();
+    if (n == 0) break;
+    decoded += n;
+    ++steps;
+    if (steps % 16 == 0) {
+      std::printf("  step %3zu: %zu running, %zu queued\n", steps,
+                  engine.running(), engine.queued());
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double serve_s = std::chrono::duration<double>(t1 - t0).count();
+
+  std::printf("\n%-9s %-9s %7s %10s %7s\n", "request", "status", "prompt",
+              "generated", "total");
+  for (std::size_t r = 0; r < ids.size(); ++r) {
+    const auto& result = engine.result(ids[r]);
+    std::printf("%-9zu %-9s %7zu %10zu %7zu\n", r,
+                to_string(result.status).c_str(), result.prompt_len,
+                result.generated(), result.tokens.size());
+  }
+
+  std::printf("\nprepare: %.2fs (once)   serve: %.2fs, %zu steps, "
+              "%zu token-decodes, %.1f tokens/s across the batch\n",
+              std::chrono::duration<double>(t_prep1 - t_prep0).count(),
+              serve_s, steps, decoded,
+              static_cast<double>(decoded) / serve_s);
+  return 0;
+}

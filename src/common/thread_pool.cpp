@@ -1,0 +1,68 @@
+#include "common/thread_pool.h"
+
+namespace opal {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  workers_.reserve(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_indices() {
+  // Called with mu_ held; returns with mu_ held.
+  while (job_ != nullptr && next_index_ < job_size_) {
+    const std::size_t i = next_index_++;
+    const auto* job = job_;
+    mu_.unlock();
+    try {
+      (*job)(i);
+    } catch (...) {
+      mu_.lock();
+      if (!error_) error_ = std::current_exception();
+      mu_.unlock();
+    }
+    mu_.lock();
+    if (--remaining_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [this] {
+      return shutdown_ || (job_ != nullptr && next_index_ < job_size_);
+    });
+    if (shutdown_) return;
+    run_indices();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  job_ = &fn;
+  job_size_ = n;
+  next_index_ = 0;
+  remaining_ = n;
+  error_ = nullptr;
+  work_cv_.notify_all();
+  run_indices();  // the caller helps drain the job
+  done_cv_.wait(lk, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+  std::exception_ptr err = error_;
+  error_ = nullptr;
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace opal

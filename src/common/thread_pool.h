@@ -1,0 +1,51 @@
+// Minimal persistent thread pool exposing a blocking parallel_for, used by
+// the serving layer to fan independent per-sequence decode work across
+// cores. Deliberately simple: one job at a time, indices handed out from a
+// mutex-guarded counter, caller blocks until the job drains.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace opal {
+
+class ThreadPool {
+ public:
+  /// Spawns `n_threads` workers. n_threads == 0 degenerates to a pool that
+  /// runs every job inline on the calling thread.
+  explicit ThreadPool(std::size_t n_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs fn(i) for every i in [0, n), distributing indices across the
+  /// workers (the calling thread participates too). Blocks until all
+  /// iterations finish; the first exception thrown by any iteration is
+  /// rethrown on the caller.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+  void run_indices();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_size_ = 0;
+  std::size_t next_index_ = 0;
+  std::size_t remaining_ = 0;
+  std::exception_ptr error_;
+  bool shutdown_ = false;
+};
+
+}  // namespace opal

@@ -34,7 +34,8 @@ SiteCapture capture_layer_activations(const SyntheticModel& model,
   InferenceEngine engine(model, bf16);
   SiteCapture capture(layer);
   engine.set_recorder(&capture);
-  generate_stream(engine, n_tokens, seed);
+  // The stream itself is discarded; generation only drives the recorder.
+  static_cast<void>(generate_stream(engine, n_tokens, seed));
   return capture;
 }
 

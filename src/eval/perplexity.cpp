@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <random>
+#include <unordered_map>
 
 #include "common/tensor.h"
+#include "llm/serving_engine.h"
 
 namespace opal {
 
@@ -65,6 +67,56 @@ double evaluate_perplexity(InferenceEngine& engine,
     ce += -logp[tokens[t + 1]];
   }
   return std::exp(ce / static_cast<double>(tokens.size() - 1));
+}
+
+std::vector<double> evaluate_perplexity_batched(
+    const PreparedModel& model,
+    const std::vector<std::vector<std::size_t>>& streams,
+    std::size_t n_threads) {
+  require(!streams.empty(), "evaluate_perplexity_batched: no streams");
+  for (const auto& s : streams) {
+    require(s.size() >= 2, "evaluate_perplexity_batched: need >= 2 tokens");
+    // Scoring feeds s.size()-1 tokens; anything longer would be silently
+    // evicted mid-stream, so fail loudly like the per-stream path does.
+    require(s.size() - 1 <= model.config().max_seq_len,
+            "evaluate_perplexity_batched: stream exceeds model max_seq_len");
+  }
+
+  ServingConfig cfg;
+  // Results are schedule-independent (each stream has its own state), so a
+  // bounded batch with queueing scores identically while capping peak KV
+  // memory at kMaxConcurrentStreams dense caches instead of one per stream.
+  constexpr std::size_t kMaxConcurrentStreams = 16;
+  cfg.max_batch = std::min(streams.size(), kMaxConcurrentStreams);
+  cfg.n_threads = n_threads;
+  ServingEngine engine(model, cfg);
+
+  std::vector<double> ce(streams.size(), 0.0);
+  std::unordered_map<RequestId, std::size_t> stream_of;
+  std::vector<double> logp;
+  engine.set_logits_observer([&](RequestId id, std::size_t pos,
+                                 std::span<const float> logits) {
+    const std::size_t s = stream_of.at(id);
+    logp.resize(logits.size());
+    log_softmax(logits, logp);
+    ce[s] += -logp[streams[s][pos + 1]];
+  });
+
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    Request req;
+    // The last token is only ever a prediction target, never an input, so
+    // feed tokens [0, n-1) exactly like the per-stream scorer does.
+    req.prompt.assign(streams[s].begin(), streams[s].end() - 1);
+    req.max_new_tokens = 0;  // pure teacher-forced scoring
+    stream_of.emplace(engine.submit(std::move(req)), s);
+  }
+  engine.run();
+
+  std::vector<double> ppl(streams.size());
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    ppl[s] = std::exp(ce[s] / static_cast<double>(streams[s].size() - 1));
+  }
+  return ppl;
 }
 
 double evaluate_mean_kl(InferenceEngine& teacher, InferenceEngine& student,

@@ -33,6 +33,16 @@ namespace opal {
                                       InferenceEngine& student,
                                       std::span<const std::size_t> tokens);
 
+/// Teacher-forced perplexity of every stream in one continuously-batched
+/// ServingEngine pass over a shared PreparedModel (all streams decode
+/// concurrently; n_threads > 0 additionally fans the per-step decodes
+/// across a thread pool). Bitwise identical to calling evaluate_perplexity
+/// per stream with an engine built from the same configuration.
+[[nodiscard]] std::vector<double> evaluate_perplexity_batched(
+    const PreparedModel& model,
+    const std::vector<std::vector<std::size_t>>& streams,
+    std::size_t n_threads = 0);
+
 /// log-softmax helper shared by the scorers.
 void log_softmax(std::span<const float> logits, std::span<double> out);
 

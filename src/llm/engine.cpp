@@ -2,299 +2,42 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 #include <random>
 
-#include "common/bfloat16.h"
-#include "common/float_bits.h"
+#include "common/tensor.h"
 
 namespace opal {
 
-std::string to_string(RecordSite site) {
-  switch (site) {
-    case RecordSite::kAttnIn:
-      return "attn_in";
-    case RecordSite::kQuery:
-      return "Query";
-    case RecordSite::kKey:
-      return "Key";
-    case RecordSite::kValue:
-      return "Value";
-    case RecordSite::kProjIn:
-      return "Proj";
-    case RecordSite::kFc1In:
-      return "fc1";
-    case RecordSite::kFc2In:
-      return "fc2";
-  }
-  return "?";
+namespace {
+
+const PreparedModel& deref_prepared(
+    const std::shared_ptr<const PreparedModel>& p) {
+  require(p != nullptr, "InferenceEngine: null prepared model");
+  return *p;
 }
 
-std::string EngineConfig::label() const {
-  std::string w = weight_quant ? "W" + std::to_string(weight_quant->bits)
-                               : "W16";
-  std::string scheme = to_string(act_policy.scheme);
-  return w + act_policy.label() + " (" + scheme + ")";
-}
+}  // namespace
 
 InferenceEngine::InferenceEngine(const SyntheticModel& model,
                                  EngineConfig config,
                                  const CalibrationSet* calibration)
-    : model_(&model),
-      config_(std::move(config)),
-      cache_(model.config().n_layers, model.config().d_model,
-             config_.max_seq_len) {
-  prepare_layers(calibration);
-  finish_construction();
-}
+    : prepared_(std::make_shared<const PreparedModel>(model, std::move(config),
+                                                      calibration)),
+      state_(prepared_->make_sequence()) {}
 
 InferenceEngine::InferenceEngine(const SyntheticModel& model,
                                  EngineConfig config,
                                  const HessianSet& hessians)
-    : model_(&model),
-      config_(std::move(config)),
-      cache_(model.config().n_layers, model.config().d_model,
-             config_.max_seq_len) {
-  require(config_.weight_quant.has_value(),
-          "InferenceEngine: GPTQ requires weight_quant");
-  prepare_layers_gptq(hessians);
-  finish_construction();
-}
+    : prepared_(std::make_shared<const PreparedModel>(model, std::move(config),
+                                                      hessians)),
+      state_(prepared_->make_sequence()) {}
 
-void InferenceEngine::finish_construction() {
-  const auto& cfg = model_->config();
-  quant_post_ln_ =
-      config_.act_policy.make_quantizer(ActivationSite::kPostLayerNorm);
-  quant_attn_in_ =
-      config_.act_policy.make_quantizer(ActivationSite::kAttentionInput);
-  quant_general_ =
-      config_.act_policy.make_quantizer(ActivationSite::kGeneral);
-  final_norm_ =
-      std::make_unique<Norm>(cfg.norm, model_->final_norm_gain());
-
-  x_.resize(cfg.d_model);
-  h_.resize(cfg.d_model);
-  q_.resize(cfg.d_model);
-  k_.resize(cfg.d_model);
-  v_.resize(cfg.d_model);
-  z_.resize(cfg.d_model);
-  hidden_.resize(cfg.d_ffn);
-  logits_.resize(cfg.vocab);
-}
-
-void InferenceEngine::prepare_layers_gptq(const HessianSet& hessians) {
-  const auto& cfg = model_->config();
-  require(hessians.size() == cfg.n_layers,
-          "InferenceEngine: Hessian layer count mismatch");
-  const auto& wq_cfg = *config_.weight_quant;
-  GptqConfig gcfg;
-  gcfg.bits = wq_cfg.bits;
-  gcfg.outlier_fraction = wq_cfg.outlier_fraction;
-  gcfg.group_size = wq_cfg.group_size;
-  gcfg.optimize_clip = wq_cfg.optimize_clip;
-
-  layers_.reserve(cfg.n_layers);
-  for (std::size_t l = 0; l < cfg.n_layers; ++l) {
-    const auto& src = model_->layers()[l];
-    const auto& hess = hessians[l];
-    PreparedLayer layer;
-    layer.attn_norm = std::make_unique<Norm>(cfg.norm, src.attn_norm_gain);
-    layer.ffn_norm = std::make_unique<Norm>(cfg.norm, src.ffn_norm_gain);
-    layer.total_weight_values =
-        4 * cfg.d_model * cfg.d_model + 2 * cfg.d_ffn * cfg.d_model;
-    auto take = [&](OwqMatrix&& q, Matrix& dst) {
-      layer.fp_weight_values += q.fp_columns.size() * q.dequantized.rows();
-      layer.storage_bits += q.storage_bits;
-      dst = std::move(q.dequantized);
-    };
-    take(gptq_quantize(src.wq, hess.attn_in, gcfg), layer.wq);
-    take(gptq_quantize(src.wk, hess.attn_in, gcfg), layer.wk);
-    take(gptq_quantize(src.wv, hess.attn_in, gcfg), layer.wv);
-    take(gptq_quantize(src.wo, hess.proj_in, gcfg), layer.wo);
-    take(gptq_quantize(src.w_fc1, hess.fc1_in, gcfg), layer.w_fc1);
-    take(gptq_quantize(src.w_fc2, hess.fc2_in, gcfg), layer.w_fc2);
-    layers_.push_back(std::move(layer));
-  }
-}
-
-void InferenceEngine::prepare_layers(const CalibrationSet* calibration) {
-  const auto& cfg = model_->config();
-  if (calibration != nullptr) {
-    require(calibration->size() == cfg.n_layers,
-            "InferenceEngine: calibration layer count mismatch");
-  }
-  layers_.reserve(cfg.n_layers);
-  for (std::size_t l = 0; l < cfg.n_layers; ++l) {
-    const auto& src = model_->layers()[l];
-    PreparedLayer layer;
-    layer.attn_norm = std::make_unique<Norm>(cfg.norm, src.attn_norm_gain);
-    layer.ffn_norm = std::make_unique<Norm>(cfg.norm, src.ffn_norm_gain);
-    layer.total_weight_values =
-        4 * cfg.d_model * cfg.d_model + 2 * cfg.d_ffn * cfg.d_model;
-
-    if (!config_.weight_quant) {
-      // BF16 baseline: weights stored (and multiplied) at bf16 precision.
-      auto round_matrix = [](const Matrix& m) {
-        Matrix out(m.rows(), m.cols());
-        for (std::size_t i = 0; i < m.size(); ++i) {
-          out.flat()[i] = to_bf16(m.flat()[i]);
-        }
-        return out;
-      };
-      layer.wq = round_matrix(src.wq);
-      layer.wk = round_matrix(src.wk);
-      layer.wv = round_matrix(src.wv);
-      layer.wo = round_matrix(src.wo);
-      layer.w_fc1 = round_matrix(src.w_fc1);
-      layer.w_fc2 = round_matrix(src.w_fc2);
-      layer.fp_weight_values = layer.total_weight_values;
-      layer.storage_bits = layer.total_weight_values * 16;
-    } else {
-      const auto& wq_cfg = *config_.weight_quant;
-      auto quantize = [&](const Matrix& m,
-                          const CalibrationStats* stats) -> OwqMatrix {
-        if (stats != nullptr) {
-          return owq_quantize(m, stats->hessian_diag(), wq_cfg);
-        }
-        return owq_quantize_weight_only(m, wq_cfg);
-      };
-      const LayerCalibration* cal =
-          calibration != nullptr ? &(*calibration)[l] : nullptr;
-      auto take = [&](OwqMatrix&& q, Matrix& dst) {
-        layer.fp_weight_values += q.fp_columns.size() * q.dequantized.rows();
-        layer.storage_bits += q.storage_bits;
-        dst = std::move(q.dequantized);
-      };
-      take(quantize(src.wq, cal ? &cal->attn_in : nullptr), layer.wq);
-      take(quantize(src.wk, cal ? &cal->attn_in : nullptr), layer.wk);
-      take(quantize(src.wv, cal ? &cal->attn_in : nullptr), layer.wv);
-      take(quantize(src.wo, cal ? &cal->proj_in : nullptr), layer.wo);
-      take(quantize(src.w_fc1, cal ? &cal->fc1_in : nullptr), layer.w_fc1);
-      take(quantize(src.w_fc2, cal ? &cal->fc2_in : nullptr), layer.w_fc2);
-    }
-    layers_.push_back(std::move(layer));
-  }
-}
-
-void InferenceEngine::maybe_quantize(ActivationSite site,
-                                     std::span<float> v) {
-  const Quantizer* q = nullptr;
-  switch (site) {
-    case ActivationSite::kPostLayerNorm:
-      q = quant_post_ln_.get();
-      break;
-    case ActivationSite::kAttentionInput:
-      q = quant_attn_in_.get();
-      break;
-    default:
-      q = quant_general_.get();
-      break;
-  }
-  if (q != nullptr) q->quantize_dequantize(v, v);
-}
-
-void InferenceEngine::maybe_record(std::size_t layer, RecordSite site,
-                                   std::span<const float> v) {
-  if (recorder_ != nullptr) recorder_->record(layer, site, v);
-}
-
-void InferenceEngine::attend(std::size_t l, std::span<const float> q,
-                             std::span<float> z) {
-  const auto& cfg = model_->config();
-  const std::size_t d_head = cfg.d_head();
-  const std::size_t len = cache_.length();
-  const Matrix& keys = cache_.keys(l);
-  const Matrix& values = cache_.values(l);
-  const float inv_sqrt_dk = 1.0f / std::sqrt(static_cast<float>(d_head));
-
-  std::fill(z.begin(), z.end(), 0.0f);
-  std::vector<float> scores(len);
-  std::vector<float> probs(len);
-  for (std::size_t head = 0; head < cfg.n_heads; ++head) {
-    const std::size_t base = head * d_head;
-    const auto q_head = q.subspan(base, d_head);
-    for (std::size_t t = 0; t < len; ++t) {
-      scores[t] =
-          dot(q_head, keys.row(t).subspan(base, d_head)) * inv_sqrt_dk;
-    }
-    auto z_head = z.subspan(base, d_head);
-    if (config_.log2_softmax) {
-      const auto codes =
-          log2_softmax_unit(scores, Log2SoftmaxConfig{config_.softmax_bits});
-      for (std::size_t t = 0; t < len; ++t) {
-        const float w = exp2i(-static_cast<int>(codes[t]));
-        const auto v_row = values.row(t).subspan(base, d_head);
-        for (std::size_t c = 0; c < d_head; ++c) z_head[c] += w * v_row[c];
-      }
-    } else {
-      softmax_reference(scores, probs);
-      for (std::size_t t = 0; t < len; ++t) {
-        const float w = probs[t];
-        const auto v_row = values.row(t).subspan(base, d_head);
-        for (std::size_t c = 0; c < d_head; ++c) z_head[c] += w * v_row[c];
-      }
-    }
-  }
-}
-
-void InferenceEngine::forward_layer(std::size_t l, std::span<float> x) {
-  auto& layer = layers_[l];
-
-  // --- Attention block (Fig 5(c)) ---
-  layer.attn_norm->apply(x, h_);
-  maybe_record(l, RecordSite::kAttnIn, h_);
-  maybe_quantize(ActivationSite::kPostLayerNorm, h_);
-
-  matvec(layer.wq, h_, q_);
-  matvec(layer.wk, h_, k_);
-  matvec(layer.wv, h_, v_);
-  maybe_record(l, RecordSite::kQuery, q_);
-  maybe_record(l, RecordSite::kKey, k_);
-  maybe_record(l, RecordSite::kValue, v_);
-  // Q, K enter Q.K^T and V enters Attn.V at the high bit-width.
-  maybe_quantize(ActivationSite::kAttentionInput, q_);
-  maybe_quantize(ActivationSite::kAttentionInput, k_);
-  maybe_quantize(ActivationSite::kAttentionInput, v_);
-  cache_.append(l, k_, v_);
-
-  attend(l, q_, z_);
-  maybe_record(l, RecordSite::kProjIn, z_);
-  maybe_quantize(ActivationSite::kGeneral, z_);
-
-  std::vector<float> attn_out(x.size());
-  matvec(layer.wo, z_, attn_out);
-  for (std::size_t i = 0; i < x.size(); ++i) x[i] += attn_out[i];
-
-  // --- FFN block (Fig 5(b)) ---
-  layer.ffn_norm->apply(x, h_);
-  maybe_record(l, RecordSite::kFc1In, h_);
-  maybe_quantize(ActivationSite::kPostLayerNorm, h_);
-
-  matvec(layer.w_fc1, h_, hidden_);
-  apply_activation(model_->config().activation, hidden_);
-  maybe_record(l, RecordSite::kFc2In, hidden_);
-  maybe_quantize(ActivationSite::kGeneral, hidden_);
-
-  std::vector<float> ffn_out(x.size());
-  matvec(layer.w_fc2, hidden_, ffn_out);
-  for (std::size_t i = 0; i < x.size(); ++i) x[i] += ffn_out[i];
-}
+InferenceEngine::InferenceEngine(std::shared_ptr<const PreparedModel> prepared)
+    : prepared_(std::move(prepared)),
+      state_(deref_prepared(prepared_).make_sequence()) {}
 
 std::span<const float> InferenceEngine::step(std::size_t token) {
-  const auto& cfg = model_->config();
-  require(token < cfg.vocab, "InferenceEngine::step: token out of range");
-  const auto emb = model_->embedding().row(token);
-  std::copy(emb.begin(), emb.end(), x_.begin());
-
-  cache_.advance();  // open this step's KV slot for every layer
-  for (std::size_t l = 0; l < cfg.n_layers; ++l) forward_layer(l, x_);
-
-  final_norm_->apply(x_, h_);
-  // Tied embedding head: logit[v] = E[v,:] . h.
-  matvec(model_->embedding(), h_, logits_);
-  const float s = model_->logit_scale();
-  for (auto& v : logits_) v *= s;
-  return logits_;
+  return prepared_->step(state_, token, recorder_);
 }
 
 std::span<const float> InferenceEngine::prefill(
@@ -305,23 +48,7 @@ std::span<const float> InferenceEngine::prefill(
   return logits;
 }
 
-void InferenceEngine::reset() { cache_.clear(); }
-
-double InferenceEngine::fp_weight_fraction() const {
-  std::size_t fp = 0, total = 0;
-  for (const auto& layer : layers_) {
-    fp += layer.fp_weight_values;
-    total += layer.total_weight_values;
-  }
-  return total == 0 ? 0.0
-                    : static_cast<double>(fp) / static_cast<double>(total);
-}
-
-std::size_t InferenceEngine::weight_storage_bits() const {
-  std::size_t bits = 0;
-  for (const auto& layer : layers_) bits += layer.storage_bits;
-  return bits;
-}
+void InferenceEngine::reset() { state_.reset(); }
 
 namespace {
 
@@ -353,30 +80,6 @@ class CalibrationRecorder final : public ActivationRecorder {
   CalibrationSet* set_;
 };
 
-/// Greedy-free token stream: samples from the model's own softmax so the
-/// calibration activations cover the model's operating distribution.
-std::size_t sample_token(std::span<const float> logits, Rng& rng) {
-  std::vector<double> probs(logits.size());
-  double max_l = logits[0];
-  for (const float v : logits) max_l = std::max(max_l, double{v});
-  double sum = 0.0;
-  for (std::size_t i = 0; i < logits.size(); ++i) {
-    probs[i] = std::exp(static_cast<double>(logits[i]) - max_l);
-    sum += probs[i];
-  }
-  std::uniform_real_distribution<double> uni(0.0, sum);
-  double r = uni(rng);
-  for (std::size_t i = 0; i < probs.size(); ++i) {
-    r -= probs[i];
-    if (r <= 0.0) return i;
-  }
-  return probs.size() - 1;
-}
-
-}  // namespace
-
-namespace {
-
 class HessianRecorder final : public ActivationRecorder {
  public:
   explicit HessianRecorder(HessianSet& set) : set_(&set) {}
@@ -404,6 +107,26 @@ class HessianRecorder final : public ActivationRecorder {
  private:
   HessianSet* set_;
 };
+
+/// Greedy-free token stream: samples from the model's own softmax so the
+/// calibration activations cover the model's operating distribution.
+std::size_t sample_token(std::span<const float> logits, Rng& rng) {
+  std::vector<double> probs(logits.size());
+  double max_l = logits[0];
+  for (const float v : logits) max_l = std::max(max_l, double{v});
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    probs[i] = std::exp(static_cast<double>(logits[i]) - max_l);
+    sum += probs[i];
+  }
+  std::uniform_real_distribution<double> uni(0.0, sum);
+  double r = uni(rng);
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    r -= probs[i];
+    if (r <= 0.0) return i;
+  }
+  return probs.size() - 1;
+}
 
 }  // namespace
 

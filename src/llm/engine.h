@@ -1,90 +1,22 @@
-// Single-batch autoregressive inference engine with quantization hooks.
+// Single-sequence facade over PreparedModel + SequenceState.
 //
-// The engine executes the Fig 5 computation flow: every MxV input passes
-// through the activation quantizer assigned to its site (post-LN tensors at
-// the low bit-width, everything else at the high bit-width), weights are
-// OWQ-quantized at construction, and the attention map can run through the
-// log2 softmax unit so Attn.V becomes shift-and-accumulate. With the default
-// EngineConfig the engine is the BF16 baseline teacher.
+// InferenceEngine is the batch-of-1 convenience view the eval harness,
+// calibration loops, benches, and examples use: it bundles one immutable
+// PreparedModel (built at construction, or shared via the shared_ptr
+// constructor) with one SequenceState and forwards step()/prefill()/reset().
+// Batched serving lives in llm/serving_engine.h; the Fig 5 compute flow
+// itself lives in llm/prepared_model.cpp.
 #pragma once
 
 #include <cstddef>
 #include <memory>
-#include <optional>
 #include <span>
 #include <vector>
 
-#include "llm/kv_cache.h"
-#include "llm/norm.h"
-#include "llm/synthetic.h"
-#include "owq/calibration.h"
-#include "owq/gptq.h"
-#include "owq/owq.h"
-#include "quant/policy.h"
-#include "softmax/softmax.h"
+#include "llm/prepared_model.h"
+#include "llm/sequence_state.h"
 
 namespace opal {
-
-/// Tensors observable per decoder block; Fig 4's x-axis plus the two
-/// calibration-only taps.
-enum class RecordSite : std::uint8_t {
-  kAttnIn,  // post-LN input to Wq/Wk/Wv
-  kQuery,   // Q (input of Q.K^T)
-  kKey,     // K
-  kValue,   // V
-  kProjIn,  // attention output z, input to Wo
-  kFc1In,   // post-LN input to fc1
-  kFc2In,   // FFN hidden after the nonlinearity, input to fc2
-};
-
-[[nodiscard]] std::string to_string(RecordSite site);
-
-/// Observer of raw (pre-quantization) activations.
-class ActivationRecorder {
- public:
-  virtual ~ActivationRecorder() = default;
-  virtual void record(std::size_t layer, RecordSite site,
-                      std::span<const float> values) = 0;
-};
-
-/// Per-layer calibration statistics for OWQ column selection.
-struct LayerCalibration {
-  CalibrationStats attn_in;
-  CalibrationStats proj_in;
-  CalibrationStats fc1_in;
-  CalibrationStats fc2_in;
-
-  explicit LayerCalibration(std::size_t d_model, std::size_t d_ffn)
-      : attn_in(d_model), proj_in(d_model), fc1_in(d_model),
-        fc2_in(d_ffn) {}
-};
-
-using CalibrationSet = std::vector<LayerCalibration>;
-
-/// Full second-moment matrices per layer, for GPTQ weight quantization.
-struct LayerHessians {
-  HessianAccumulator attn_in;
-  HessianAccumulator proj_in;
-  HessianAccumulator fc1_in;
-  HessianAccumulator fc2_in;
-
-  LayerHessians(std::size_t d_model, std::size_t d_ffn)
-      : attn_in(d_model), proj_in(d_model), fc1_in(d_model),
-        fc2_in(d_ffn) {}
-};
-
-using HessianSet = std::vector<LayerHessians>;
-
-struct EngineConfig {
-  PrecisionPolicy act_policy = policy_bf16();
-  std::optional<OwqConfig> weight_quant;  // nullopt: weights stay bf16
-  bool log2_softmax = false;
-  int softmax_bits = 7;  // attention-map code width for the log2 unit
-  std::size_t max_seq_len = 512;
-
-  /// Scheme label in the paper's notation, e.g. "W4A4/7 (MX-OPAL)".
-  [[nodiscard]] std::string label() const;
-};
 
 class InferenceEngine {
  public:
@@ -98,6 +30,10 @@ class InferenceEngine {
   InferenceEngine(const SyntheticModel& model, EngineConfig config,
                   const HessianSet& hessians);
 
+  /// Batch-of-1 view over an existing prepared model; weight preparation is
+  /// NOT repeated, so facades over a shared model are cheap to create.
+  explicit InferenceEngine(std::shared_ptr<const PreparedModel> prepared);
+
   /// Runs one decode step; returns logits over the vocabulary. The returned
   /// span is valid until the next step() call.
   std::span<const float> step(std::size_t token);
@@ -108,50 +44,34 @@ class InferenceEngine {
 
   void reset();
   [[nodiscard]] const ModelConfig& model_config() const {
-    return model_->config();
+    return prepared_->model_config();
   }
-  [[nodiscard]] const EngineConfig& engine_config() const { return config_; }
-  [[nodiscard]] std::size_t position() const { return cache_.length(); }
+  [[nodiscard]] const EngineConfig& engine_config() const {
+    return prepared_->config();
+  }
+  [[nodiscard]] std::size_t position() const { return state_.position(); }
 
   void set_recorder(ActivationRecorder* recorder) { recorder_ = recorder; }
 
   /// Fraction of weight values kept in bf16 (0 when weights are unquantized).
-  [[nodiscard]] double fp_weight_fraction() const;
+  [[nodiscard]] double fp_weight_fraction() const {
+    return prepared_->fp_weight_fraction();
+  }
   /// Total packed weight storage in bits under the active weight format.
-  [[nodiscard]] std::size_t weight_storage_bits() const;
+  [[nodiscard]] std::size_t weight_storage_bits() const {
+    return prepared_->weight_storage_bits();
+  }
+
+  /// The immutable model half, shareable with other facades and with
+  /// ServingEngine.
+  [[nodiscard]] const std::shared_ptr<const PreparedModel>& prepared() const {
+    return prepared_;
+  }
 
  private:
-  void finish_construction();
-
-  struct PreparedLayer {
-    Matrix wq, wk, wv, wo, w_fc1, w_fc2;  // dequantized compute weights
-    std::unique_ptr<Norm> attn_norm;
-    std::unique_ptr<Norm> ffn_norm;
-    std::size_t fp_weight_values = 0;
-    std::size_t total_weight_values = 0;
-    std::size_t storage_bits = 0;
-  };
-
-  void prepare_layers(const CalibrationSet* calibration);
-  void prepare_layers_gptq(const HessianSet& hessians);
-  void forward_layer(std::size_t l, std::span<float> x);
-  void attend(std::size_t l, std::span<const float> q, std::span<float> z);
-  void maybe_quantize(ActivationSite site, std::span<float> v);
-  void maybe_record(std::size_t layer, RecordSite site,
-                    std::span<const float> v);
-
-  const SyntheticModel* model_;
-  EngineConfig config_;
-  std::vector<PreparedLayer> layers_;
-  std::unique_ptr<Norm> final_norm_;
-  QuantizerPtr quant_post_ln_;
-  QuantizerPtr quant_attn_in_;
-  QuantizerPtr quant_general_;
-  KvCache cache_;
+  std::shared_ptr<const PreparedModel> prepared_;
+  SequenceState state_;
   ActivationRecorder* recorder_ = nullptr;
-
-  // Scratch buffers reused across steps.
-  std::vector<float> x_, h_, q_, k_, v_, z_, hidden_, logits_;
 };
 
 /// Runs a BF16 engine over `n_tokens` self-generated tokens and accumulates

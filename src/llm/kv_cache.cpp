@@ -16,7 +16,8 @@ KvCache::KvCache(std::size_t n_layers, std::size_t d_model,
 }
 
 void KvCache::advance() {
-  require(len_ < max_seq_len_, "KvCache::advance: cache full");
+  require(len_ < max_seq_len_,
+          "KvCache::advance: cache full (length == max_seq_len)");
   ++len_;
 }
 
@@ -25,9 +26,16 @@ void KvCache::append(std::size_t layer, std::span<const float> k,
   require(layer < keys_.size(), "KvCache::append: bad layer");
   require(k.size() == d_model_ && v.size() == d_model_,
           "KvCache::append: dim mismatch");
+  // advance() enforces len_ <= max_seq_len_, so the write below is in
+  // bounds whenever a step is open.
   require(len_ >= 1, "KvCache::append: call advance() first");
   std::copy(k.begin(), k.end(), keys_[layer].row(len_ - 1).begin());
   std::copy(v.begin(), v.end(), values_[layer].row(len_ - 1).begin());
+}
+
+void KvCache::truncate(std::size_t len) {
+  require(len <= len_, "KvCache::truncate: len exceeds current length");
+  len_ = len;
 }
 
 const Matrix& KvCache::keys(std::size_t layer) const {

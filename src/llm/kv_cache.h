@@ -15,13 +15,22 @@ class KvCache {
           std::size_t max_seq_len);
 
   /// Opens a new time step: all layers subsequently append at this
-  /// position and attention spans [0, length()).
+  /// position and attention spans [0, length()). Throws
+  /// std::invalid_argument when the cache already holds max_seq_len steps
+  /// (explicit error instead of an out-of-range write).
   void advance();
 
   /// Writes this step's key and value vectors for `layer` at the position
-  /// opened by the last advance().
+  /// opened by the last advance(). Throws on bad layer, dimension mismatch,
+  /// or a missing advance(); advance() itself caps the write position at
+  /// max_seq_len, so append can never write out of range.
   void append(std::size_t layer, std::span<const float> k,
               std::span<const float> v);
+
+  /// Rolls the cache back to `len` steps (len <= length()); rows at and
+  /// past `len` become writable again. Used by scheduler eviction /
+  /// preemption to give up cache space while keeping a prefix.
+  void truncate(std::size_t len);
 
   /// Cached keys/values for `layer` as [len x d_model] matrices.
   [[nodiscard]] const Matrix& keys(std::size_t layer) const;

@@ -1,0 +1,152 @@
+// Immutable prepared model — the shareable half of the old InferenceEngine.
+//
+// A PreparedModel is built once per EngineConfig: it quantizes (OWQ or GPTQ)
+// or bf16-rounds every decoder weight, instantiates the norms and the
+// activation quantizers, and records the storage accounting. After
+// construction it is strictly read-only: step() is const and touches no
+// member state, so any number of sequences (threads) can decode against one
+// PreparedModel concurrently. All per-sequence mutability lives in
+// SequenceState.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "llm/norm.h"
+#include "llm/synthetic.h"
+#include "owq/calibration.h"
+#include "owq/gptq.h"
+#include "owq/owq.h"
+#include "quant/policy.h"
+
+namespace opal {
+
+class SequenceState;
+
+/// Tensors observable per decoder block; Fig 4's x-axis plus the two
+/// calibration-only taps.
+enum class RecordSite : std::uint8_t {
+  kAttnIn,  // post-LN input to Wq/Wk/Wv
+  kQuery,   // Q (input of Q.K^T)
+  kKey,     // K
+  kValue,   // V
+  kProjIn,  // attention output z, input to Wo
+  kFc1In,   // post-LN input to fc1
+  kFc2In,   // FFN hidden after the nonlinearity, input to fc2
+};
+
+[[nodiscard]] std::string to_string(RecordSite site);
+
+/// Observer of raw (pre-quantization) activations.
+class ActivationRecorder {
+ public:
+  virtual ~ActivationRecorder() = default;
+  virtual void record(std::size_t layer, RecordSite site,
+                      std::span<const float> values) = 0;
+};
+
+/// Per-layer calibration statistics for OWQ column selection.
+struct LayerCalibration {
+  CalibrationStats attn_in;
+  CalibrationStats proj_in;
+  CalibrationStats fc1_in;
+  CalibrationStats fc2_in;
+
+  explicit LayerCalibration(std::size_t d_model, std::size_t d_ffn)
+      : attn_in(d_model), proj_in(d_model), fc1_in(d_model),
+        fc2_in(d_ffn) {}
+};
+
+using CalibrationSet = std::vector<LayerCalibration>;
+
+/// Full second-moment matrices per layer, for GPTQ weight quantization.
+struct LayerHessians {
+  HessianAccumulator attn_in;
+  HessianAccumulator proj_in;
+  HessianAccumulator fc1_in;
+  HessianAccumulator fc2_in;
+
+  LayerHessians(std::size_t d_model, std::size_t d_ffn)
+      : attn_in(d_model), proj_in(d_model), fc1_in(d_model),
+        fc2_in(d_ffn) {}
+};
+
+using HessianSet = std::vector<LayerHessians>;
+
+struct EngineConfig {
+  PrecisionPolicy act_policy = policy_bf16();
+  std::optional<OwqConfig> weight_quant;  // nullopt: weights stay bf16
+  bool log2_softmax = false;
+  int softmax_bits = 7;  // attention-map code width for the log2 unit
+  std::size_t max_seq_len = 512;
+
+  /// Scheme label in the paper's notation, e.g. "W4A4/7 (MX-OPAL)".
+  [[nodiscard]] std::string label() const;
+};
+
+class PreparedModel {
+ public:
+  /// `calibration`, when given, drives OWQ's FP-column selection; otherwise
+  /// weight energy is used. The prepared model keeps a reference to `model`.
+  PreparedModel(const SyntheticModel& model, EngineConfig config,
+                const CalibrationSet* calibration = nullptr);
+
+  /// GPTQ variant: weights are quantized with full OPTQ error compensation
+  /// against the per-layer Hessians (requires config.weight_quant).
+  PreparedModel(const SyntheticModel& model, EngineConfig config,
+                const HessianSet& hessians);
+
+  /// Runs one decode step for `seq`; returns logits over the vocabulary.
+  /// The returned span points into `seq`'s logits buffer and is valid until
+  /// the next step() with the same state. Const and thread-safe: concurrent
+  /// calls are fine as long as each thread passes a distinct SequenceState.
+  std::span<const float> step(SequenceState& seq, std::size_t token,
+                              ActivationRecorder* recorder = nullptr) const;
+
+  /// Fresh per-sequence state sized for this model (KV cache at
+  /// config().max_seq_len plus scratch buffers).
+  [[nodiscard]] SequenceState make_sequence() const;
+
+  [[nodiscard]] const ModelConfig& model_config() const {
+    return model_->config();
+  }
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
+
+  /// Fraction of weight values kept in bf16 (0 when weights are unquantized).
+  [[nodiscard]] double fp_weight_fraction() const;
+  /// Total packed weight storage in bits under the active weight format.
+  [[nodiscard]] std::size_t weight_storage_bits() const;
+
+ private:
+  struct PreparedLayer {
+    Matrix wq, wk, wv, wo, w_fc1, w_fc2;  // dequantized compute weights
+    std::unique_ptr<Norm> attn_norm;
+    std::unique_ptr<Norm> ffn_norm;
+    std::size_t fp_weight_values = 0;
+    std::size_t total_weight_values = 0;
+    std::size_t storage_bits = 0;
+  };
+
+  void finish_construction();
+  void prepare_layers(const CalibrationSet* calibration);
+  void prepare_layers_gptq(const HessianSet& hessians);
+  void forward_layer(std::size_t l, SequenceState& seq, std::span<float> x,
+                     ActivationRecorder* recorder) const;
+  void attend(std::size_t l, SequenceState& seq,
+              std::span<const float> q, std::span<float> z) const;
+  void maybe_quantize(ActivationSite site, std::span<float> v) const;
+
+  const SyntheticModel* model_;
+  EngineConfig config_;
+  std::vector<PreparedLayer> layers_;
+  std::unique_ptr<Norm> final_norm_;
+  QuantizerPtr quant_post_ln_;
+  QuantizerPtr quant_attn_in_;
+  QuantizerPtr quant_general_;
+};
+
+}  // namespace opal

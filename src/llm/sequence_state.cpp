@@ -1,0 +1,22 @@
+#include "llm/sequence_state.h"
+
+namespace opal {
+
+SequenceState::SequenceState(const ModelConfig& config,
+                             std::size_t max_seq_len)
+    : cache_(config.n_layers, config.d_model, max_seq_len) {
+  x_.resize(config.d_model);
+  h_.resize(config.d_model);
+  q_.resize(config.d_model);
+  k_.resize(config.d_model);
+  v_.resize(config.d_model);
+  z_.resize(config.d_model);
+  hidden_.resize(config.d_ffn);
+  logits_.resize(config.vocab);
+  attn_out_.resize(config.d_model);
+  ffn_out_.resize(config.d_model);
+  scores_.resize(max_seq_len);
+  probs_.resize(max_seq_len);
+}
+
+}  // namespace opal

@@ -1,0 +1,48 @@
+// Per-sequence mutable decode state: the KV cache plus the scratch buffers
+// one decode step writes through. Cheap to create and reset, so a serving
+// layer can keep one per in-flight request while every sequence shares a
+// single immutable PreparedModel.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "llm/kv_cache.h"
+#include "llm/model_config.h"
+
+namespace opal {
+
+class SequenceState {
+ public:
+  SequenceState(const ModelConfig& config, std::size_t max_seq_len);
+
+  /// Number of tokens decoded into the KV cache so far.
+  [[nodiscard]] std::size_t position() const { return cache_.length(); }
+  [[nodiscard]] std::size_t max_seq_len() const { return cache_.max_seq_len(); }
+
+  /// Drops all cached context; the next step decodes at position 0.
+  void reset() { cache_.clear(); }
+
+  /// Rolls the cached context back to `len` positions (scheduler eviction /
+  /// partial-recompute preemption). Throws if len exceeds position().
+  void truncate(std::size_t len) { cache_.truncate(len); }
+
+  [[nodiscard]] const KvCache& cache() const { return cache_; }
+
+  /// Logits produced by the most recent PreparedModel::step with this state
+  /// (zeros before the first step).
+  [[nodiscard]] std::span<const float> logits() const { return logits_; }
+
+ private:
+  friend class PreparedModel;
+
+  KvCache cache_;
+  // Scratch buffers reused across steps (sized once at construction); the
+  // decode hot path performs no heap allocation.
+  std::vector<float> x_, h_, q_, k_, v_, z_, hidden_, logits_;
+  std::vector<float> attn_out_, ffn_out_;  // d_model
+  std::vector<float> scores_, probs_;      // max_seq_len
+};
+
+}  // namespace opal

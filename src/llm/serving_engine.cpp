@@ -1,0 +1,216 @@
+#include "llm/serving_engine.h"
+
+#include <algorithm>
+
+#include "common/tensor.h"
+
+namespace opal {
+
+std::string to_string(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kQueued:
+      return "queued";
+    case RequestStatus::kRunning:
+      return "running";
+    case RequestStatus::kFinished:
+      return "finished";
+    case RequestStatus::kEvicted:
+      return "evicted";
+  }
+  return "?";
+}
+
+ServingEngine::ServingEngine(std::shared_ptr<const PreparedModel> model,
+                             ServingConfig config)
+    : model_(std::move(model)), config_(config) {
+  require(model_ != nullptr, "ServingEngine: null model");
+  require(config_.max_batch >= 1, "ServingEngine: max_batch must be >= 1");
+  if (config_.n_threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(config_.n_threads);
+  }
+}
+
+ServingEngine::ServingEngine(const PreparedModel& model, ServingConfig config)
+    : ServingEngine(
+          std::shared_ptr<const PreparedModel>(&model,
+                                               [](const PreparedModel*) {}),
+          config) {}
+
+RequestId ServingEngine::submit(Request request) {
+  require(!request.prompt.empty(), "ServingEngine::submit: empty prompt");
+  // Validate up front: a token that threw mid-decode would leave the other
+  // sequences of that step with advanced KV caches but un-advanced `fed`
+  // counters. Generated tokens are argmax indices and are always in range.
+  const std::size_t vocab = model_->model_config().vocab;
+  for (const std::size_t token : request.prompt) {
+    require(token < vocab, "ServingEngine::submit: prompt token out of range");
+  }
+  Sequence seq;
+  seq.id = next_id_++;
+  seq.result.status = RequestStatus::kQueued;
+  seq.result.tokens = std::move(request.prompt);
+  seq.result.prompt_len = seq.result.tokens.size();
+  seq.target_len = seq.result.prompt_len + request.max_new_tokens;
+  const RequestId id = seq.id;
+  queue_.push_back(std::move(seq));
+  return id;
+}
+
+void ServingEngine::admit_from_queue() {
+  while (batch_.size() < config_.max_batch && !queue_.empty()) {
+    Sequence seq = std::move(queue_.front());
+    queue_.pop_front();
+    if (seq.state == nullptr) {
+      seq.state = std::make_unique<SequenceState>(model_->make_sequence());
+    }
+    seq.result.status = RequestStatus::kRunning;
+    batch_.push_back(std::move(seq));
+  }
+}
+
+void ServingEngine::finish(Sequence&& seq, RequestStatus status) {
+  seq.result.status = status;
+  seq.state.reset();  // release the KV cache immediately
+  done_.emplace(seq.id, std::move(seq.result));
+}
+
+ServingEngine::Sequence* ServingEngine::find_running(RequestId id) {
+  for (auto& seq : batch_) {
+    if (seq.id == id) return &seq;
+  }
+  return nullptr;
+}
+
+void ServingEngine::preempt(RequestId id, std::size_t keep_positions) {
+  Sequence* seq = find_running(id);
+  require(seq != nullptr, "ServingEngine::preempt: request is not running");
+  if (keep_positions == 0) {
+    // Full preemption releases the dense KV allocation (the point of
+    // preempting under memory pressure); readmission recreates it.
+    seq->state.reset();
+  } else {
+    seq->state->truncate(keep_positions);  // throws if keep > position
+  }
+  seq->fed = keep_positions;  // replay the rest on readmission
+  seq->result.status = RequestStatus::kQueued;
+  const std::ptrdiff_t index = seq - batch_.data();
+  queue_.push_back(std::move(*seq));
+  batch_.erase(batch_.begin() + index);
+}
+
+std::size_t ServingEngine::step() {
+  admit_from_queue();
+
+  // Retire completed sequences a prior step could not retire (its observer
+  // threw after bookkeeping), and evict sequences whose KV cache is
+  // exhausted; freed slots refill from the queue within the same step
+  // (continuous batching).
+  for (;;) {
+    bool removed = false;
+    for (std::size_t i = 0; i < batch_.size(); ++i) {
+      const bool was_done = batch_[i].done;
+      const bool exhausted =
+          batch_[i].state->position() >= batch_[i].state->max_seq_len();
+      if (was_done || exhausted) {
+        finish(std::move(batch_[i]), was_done ? RequestStatus::kFinished
+                                              : RequestStatus::kEvicted);
+        batch_.erase(batch_.begin() + static_cast<std::ptrdiff_t>(i));
+        removed = true;
+        break;
+      }
+    }
+    if (!removed) break;
+    admit_from_queue();
+  }
+  if (batch_.empty()) return 0;
+
+  // Parallel phase: decode one token per sequence. Disjoint SequenceStates
+  // against a const PreparedModel — safe and bitwise order-independent.
+  auto decode_one = [this](std::size_t i) {
+    Sequence& seq = batch_[i];
+    model_->step(*seq.state, seq.result.tokens[seq.fed]);
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(batch_.size(), decode_one);
+  } else {
+    for (std::size_t i = 0; i < batch_.size(); ++i) decode_one(i);
+  }
+
+  // Serial bookkeeping, in slot order: advance fed counters and extend with
+  // greedy tokens. This runs to completion for the whole batch before any
+  // observer fires, so a throwing observer can never leave a sequence's fed
+  // counter out of sync with its already-advanced KV cache.
+  const std::size_t decoded = batch_.size();
+  fed_pos_.resize(decoded);
+  for (std::size_t i = 0; i < decoded; ++i) {
+    Sequence& seq = batch_[i];
+    const std::span<const float> logits = seq.state->logits();
+    fed_pos_[i] = seq.fed;
+    ++seq.fed;
+    if (seq.fed == seq.result.tokens.size() &&
+        seq.result.tokens.size() < seq.target_len) {
+      const auto best = std::max_element(logits.begin(), logits.end());
+      seq.result.tokens.push_back(
+          static_cast<std::size_t>(best - logits.begin()));
+      // The final generated token is pure output — feeding it would spend a
+      // KV slot and a forward pass on logits nobody reads.
+      seq.done = seq.result.tokens.size() == seq.target_len;
+    }
+    if (seq.fed == seq.result.tokens.size() &&
+        seq.result.tokens.size() >= seq.target_len) {
+      seq.done = true;  // scoring request: every prompt token has been fed
+    }
+  }
+
+  // Observer pass: sequence states (and their logits buffers) are all still
+  // alive. A throw here propagates to the caller with the engine in a
+  // consistent state; the remaining observer calls of this step are skipped.
+  if (observer_) {
+    for (std::size_t i = 0; i < decoded; ++i) {
+      observer_(batch_[i].id, fed_pos_[i], batch_[i].state->logits());
+    }
+  }
+
+  // Retire pass: stable in-place compaction, no per-step allocation.
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < decoded; ++i) {
+    if (batch_[i].done) {
+      finish(std::move(batch_[i]), RequestStatus::kFinished);
+    } else {
+      if (keep != i) batch_[keep] = std::move(batch_[i]);
+      ++keep;
+    }
+  }
+  batch_.resize(keep);
+  return decoded;
+}
+
+void ServingEngine::run() {
+  while (step() > 0) {
+  }
+}
+
+RequestResult ServingEngine::result(RequestId id) const {
+  if (const auto it = done_.find(id); it != done_.end()) return it->second;
+  for (const auto& seq : batch_) {
+    if (seq.id == id) return seq.result;
+  }
+  for (const auto& seq : queue_) {
+    if (seq.id == id) return seq.result;
+  }
+  throw std::invalid_argument("ServingEngine::result: unknown request id");
+}
+
+bool ServingEngine::finished(RequestId id) const {
+  // Status-only lookup: no RequestResult copy (result() returns by value).
+  if (done_.contains(id)) return true;  // done_ holds finished/evicted only
+  for (const auto& seq : batch_) {
+    if (seq.id == id) return false;
+  }
+  for (const auto& seq : queue_) {
+    if (seq.id == id) return false;
+  }
+  throw std::invalid_argument("ServingEngine::finished: unknown request id");
+}
+
+}  // namespace opal

@@ -1,0 +1,159 @@
+// Batched serving layer over an immutable PreparedModel.
+//
+// ServingEngine runs continuous batching: a FIFO request queue feeds up to
+// `max_batch` concurrently running sequences, each with its own
+// SequenceState, all decoding against one shared PreparedModel. Every step()
+// advances each running sequence by exactly one token — sequences at
+// different positions (one mid-prompt, one deep into generation) coexist in
+// the same batch. A slot freed by a completed sequence is refilled from the
+// queue at the start of the next step (the newly admitted sequence would
+// not decode any earlier if admitted sooner); a KV-exhaustion eviction
+// refills within the same step. With n_threads > 0 the per-sequence decodes
+// fan out across a thread pool; because PreparedModel::step is const and
+// per-sequence state is disjoint, the results are bitwise identical to the
+// serial schedule.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "llm/prepared_model.h"
+#include "llm/sequence_state.h"
+
+namespace opal {
+
+using RequestId = std::uint64_t;
+
+struct Request {
+  /// Tokens fed verbatim (teacher-forced). Must be non-empty.
+  std::vector<std::size_t> prompt;
+  /// Greedy-decoded continuation length after the prompt (0 = pure scoring).
+  std::size_t max_new_tokens = 0;
+};
+
+enum class RequestStatus : std::uint8_t {
+  kQueued,    // waiting for a batch slot
+  kRunning,   // occupying a batch slot
+  kFinished,  // decoded prompt + max_new_tokens
+  kEvicted,   // stopped early: KV cache hit the model's max_seq_len
+};
+
+[[nodiscard]] std::string to_string(RequestStatus status);
+
+struct RequestResult {
+  RequestStatus status = RequestStatus::kQueued;
+  /// Prompt followed by generated tokens.
+  std::vector<std::size_t> tokens;
+  std::size_t prompt_len = 0;
+  /// Tokens generated so far (tokens.size() - prompt_len).
+  [[nodiscard]] std::size_t generated() const {
+    return tokens.size() - prompt_len;
+  }
+};
+
+struct ServingConfig {
+  /// Maximum concurrently running sequences (batch slots).
+  std::size_t max_batch = 8;
+  /// Worker threads for the per-step decode fan-out; 0 = serial decode on
+  /// the calling thread.
+  std::size_t n_threads = 0;
+};
+
+class ServingEngine {
+ public:
+  /// Shares ownership of the prepared model with the caller.
+  ServingEngine(std::shared_ptr<const PreparedModel> model,
+                ServingConfig config = {});
+  /// Non-owning view: `model` must outlive the engine.
+  ServingEngine(const PreparedModel& model, ServingConfig config = {});
+
+  /// Enqueues a request; it starts running once a batch slot frees up.
+  RequestId submit(Request request);
+
+  /// Advances every running sequence by one token (admitting queued
+  /// requests into free slots first). Returns the number of sequences
+  /// decoded; 0 means all work has drained.
+  std::size_t step();
+
+  /// Steps until the queue and all batch slots are empty.
+  void run();
+
+  /// Evicts a running sequence back to the queue. With the default
+  /// `keep_positions == 0` the KV allocation is released entirely (memory
+  /// actually returns to the allocator); a nonzero value keeps the first
+  /// `keep_positions` cached positions for partial recompute. Decoded
+  /// tokens are kept either way and replayed from `keep_positions` on
+  /// readmission, so preemption never changes results.
+  void preempt(RequestId id, std::size_t keep_positions = 0);
+
+  /// Snapshot of a request's current result (returned by value: step(),
+  /// submit(), and preempt() move sequences between the queue, the batch,
+  /// and the finished map, so references into them would not be stable).
+  [[nodiscard]] RequestResult result(RequestId id) const;
+  /// True once the request will make no further progress — including
+  /// kEvicted, where generation was truncated by the KV-cache limit. Check
+  /// result(id).status when completeness matters.
+  [[nodiscard]] bool finished(RequestId id) const;
+
+  /// Drops all retained finished/evicted results (their ids become unknown
+  /// to result()). Long-running servers should call this after harvesting
+  /// results; retention is otherwise unbounded.
+  void clear_finished() { done_.clear(); }
+  /// Sequences currently occupying batch slots / waiting in the queue.
+  [[nodiscard]] std::size_t running() const { return batch_.size(); }
+  [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+
+  /// Observes the logits of every decode, in deterministic slot order
+  /// within each step: (request, 0-based position of the fed token, logits).
+  ///
+  /// Contract: the observer fires inside step() after the step's bookkeeping
+  /// is complete. It must not call back into this engine (submit/step/
+  /// preempt/...) — that would mutate containers step() is iterating. If it
+  /// throws, the exception propagates to the step() caller with the engine
+  /// in a consistent, continuable state; the remaining observer calls of
+  /// that step are skipped.
+  using LogitsObserver =
+      std::function<void(RequestId, std::size_t, std::span<const float>)>;
+  void set_logits_observer(LogitsObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  [[nodiscard]] const PreparedModel& model() const { return *model_; }
+
+ private:
+  struct Sequence {
+    RequestId id = 0;
+    RequestResult result;
+    std::size_t target_len = 0;  // prompt_len + max_new_tokens
+    std::size_t fed = 0;         // tokens already decoded into the KV cache
+    // Completion is recorded here (not in step-local state) so that an
+    // observer throwing on the finishing step cannot strand a completed
+    // sequence in the batch and have the next step feed past tokens.end().
+    bool done = false;
+    std::unique_ptr<SequenceState> state;  // kept across preemption
+  };
+
+  void admit_from_queue();
+  void finish(Sequence&& seq, RequestStatus status);
+  Sequence* find_running(RequestId id);
+
+  std::shared_ptr<const PreparedModel> model_;
+  ServingConfig config_;
+  std::unique_ptr<ThreadPool> pool_;  // null when n_threads == 0
+  std::deque<Sequence> queue_;
+  std::vector<Sequence> batch_;
+  std::vector<std::size_t> fed_pos_;  // per-step scratch, reused
+  std::unordered_map<RequestId, RequestResult> done_;
+  LogitsObserver observer_;
+  RequestId next_id_ = 1;
+};
+
+}  // namespace opal

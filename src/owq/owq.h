@@ -49,6 +49,11 @@ struct OwqMatrix {
 /// Quantizes `w` ([out_features x in_features]) with OWQ. `sensitivity` is
 /// the Hessian-diagonal proxy per input channel (size = cols); the
 /// top-(outlier_fraction * cols) channels stay bf16.
+///
+/// Pure function of its arguments (no hidden state): PreparedModel calls it
+/// exactly once per weight at construction, after which decode only reads
+/// the dequantized matrix — re-quantization never happens on the serving
+/// path.
 [[nodiscard]] OwqMatrix owq_quantize(const Matrix& w,
                                      std::span<const double> sensitivity,
                                      const OwqConfig& config);

@@ -36,8 +36,13 @@ std::string to_string(ActivationSite site) {
 
 std::string PrecisionPolicy::label() const {
   if (scheme == QuantScheme::kNone) return "A16";
-  if (low_bits == high_bits) return "A" + std::to_string(high_bits);
-  return "A" + std::to_string(low_bits) + "/" + std::to_string(high_bits);
+  std::string out = "A";
+  if (low_bits != high_bits) {
+    out += std::to_string(low_bits);
+    out += "/";
+  }
+  out += std::to_string(high_bits);
+  return out;
 }
 
 QuantizerPtr PrecisionPolicy::make_quantizer(ActivationSite site) const {

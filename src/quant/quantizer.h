@@ -21,6 +21,13 @@ class Quantizer {
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Applies quantize-then-dequantize elementwise; in/out may alias.
+  ///
+  /// Contract: implementations must be const in the strong sense — no
+  /// mutable members, no lazily-initialized caches, no shared scratch.
+  /// PreparedModel shares one quantizer instance across every concurrently
+  /// decoding sequence, so quantize_dequantize must be safe to call from
+  /// multiple threads at once (all in-tree implementations are pure
+  /// functions of (in, format)).
   virtual void quantize_dequantize(std::span<const float> in,
                                    std::span<float> out) const = 0;
 

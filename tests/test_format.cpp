@@ -37,7 +37,8 @@ TEST(MemoryOverhead, ShrinksWithBlockSize) {
 }
 
 TEST(MemoryOverhead, RejectsDegenerateBlocks) {
-  EXPECT_THROW(mx_opal_memory_overhead(4, 4, 8), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(mx_opal_memory_overhead(4, 4, 8)),
+               std::invalid_argument);
 }
 
 TEST(Bf16ExponentOf, NormalValues) {

@@ -93,8 +93,10 @@ TEST(ComposedMultiply, ZeroAndSignEdges) {
 }
 
 TEST(ComposedMultiply, RejectsWidthBelowArray) {
-  EXPECT_THROW(composed_multiply(1, 1, 2, 7, 4), std::invalid_argument);
-  EXPECT_THROW(composed_multiply(1, 1, 4, 7, 1), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(composed_multiply(1, 1, 2, 7, 4)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(composed_multiply(1, 1, 4, 7, 1)),
+               std::invalid_argument);
 }
 
 // Exhaustive property check over the full W4A7 operand range.

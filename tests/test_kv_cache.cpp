@@ -76,7 +76,60 @@ TEST(KvCache, DimChecks) {
   cache.advance();
   std::vector<float> bad(3);
   EXPECT_THROW(cache.append(0, bad, bad), std::invalid_argument);
-  EXPECT_THROW(cache.keys(5), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(cache.keys(5)), std::invalid_argument);
+}
+
+TEST(KvCache, TruncateRollsBackLength) {
+  KvCache cache(1, 2, 8);
+  for (int t = 0; t < 5; ++t) {
+    cache.advance();
+    std::vector<float> k = {static_cast<float>(t), 0.0f};
+    cache.append(0, k, k);
+  }
+  cache.truncate(2);
+  EXPECT_EQ(cache.length(), 2u);
+  // The kept prefix is untouched.
+  EXPECT_EQ(cache.keys(0)(0, 0), 0.0f);
+  EXPECT_EQ(cache.keys(0)(1, 0), 1.0f);
+  // Rolled-back positions are writable again.
+  cache.advance();
+  std::vector<float> k = {9.0f, 9.0f};
+  cache.append(0, k, k);
+  EXPECT_EQ(cache.length(), 3u);
+  EXPECT_EQ(cache.keys(0)(2, 0), 9.0f);
+}
+
+TEST(KvCache, TruncateBeyondLengthThrows) {
+  KvCache cache(1, 2, 4);
+  cache.advance();
+  EXPECT_THROW(cache.truncate(2), std::invalid_argument);
+  cache.truncate(1);  // no-op truncate to current length is fine
+  EXPECT_EQ(cache.length(), 1u);
+  cache.truncate(0);
+  EXPECT_EQ(cache.length(), 0u);
+}
+
+TEST(KvCache, TruncateToZeroMatchesClear) {
+  KvCache cache(2, 2, 4);
+  cache.advance();
+  std::vector<float> kv = {1.0f, 2.0f};
+  cache.append(0, kv, kv);
+  cache.append(1, kv, kv);
+  cache.truncate(0);
+  EXPECT_EQ(cache.length(), 0u);
+  cache.advance();
+  cache.append(0, kv, kv);
+  EXPECT_EQ(cache.length(), 1u);
+}
+
+TEST(KvCache, AdvanceToCapacityThenTruncateReopensSpace) {
+  KvCache cache(1, 2, 2);
+  cache.advance();
+  cache.advance();
+  EXPECT_THROW(cache.advance(), std::invalid_argument);
+  cache.truncate(1);
+  cache.advance();  // space reopened by the rollback
+  EXPECT_EQ(cache.length(), 2u);
 }
 
 TEST(KvCache, StorageBytesScalesWithBits) {

@@ -84,8 +84,9 @@ TEST(Lane, SizeMismatchThrows) {
   QuantizedBlock block;
   block.codes.resize(8, 0);
   std::vector<float> w_row(4);
-  EXPECT_THROW(lane_block_dot(block, 0, 4, w_row, RoutedBlock{}),
-               std::invalid_argument);
+  EXPECT_THROW(
+      static_cast<void>(lane_block_dot(block, 0, 4, w_row, RoutedBlock{})),
+      std::invalid_argument);
 }
 
 }  // namespace

@@ -33,7 +33,8 @@ TEST(SiteCapture, RecordsAllFigure4Sites) {
 TEST(SiteCapture, OnlyTargetLayerRecorded) {
   SiteCapture c(0);
   c.record(3, RecordSite::kQuery, std::vector<float>{1.0f});
-  EXPECT_THROW(c.at(RecordSite::kQuery), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(c.at(RecordSite::kQuery)),
+               std::invalid_argument);
   c.record(0, RecordSite::kQuery, std::vector<float>{1.0f});
   EXPECT_EQ(c.at(RecordSite::kQuery).size(), 1u);
 }

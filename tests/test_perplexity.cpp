@@ -92,7 +92,8 @@ TEST(Perplexity, RequiresTwoTokens) {
   EngineConfig cfg;
   InferenceEngine engine(eval_model(), cfg);
   const std::vector<std::size_t> one = {0};
-  EXPECT_THROW(evaluate_perplexity(engine, one), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(evaluate_perplexity(engine, one)),
+               std::invalid_argument);
 }
 
 TEST(MeanKl, ZeroAgainstSelf) {

@@ -1,0 +1,394 @@
+// Batching equivalence: a ServingEngine running N interleaved sequences
+// must produce logits bitwise identical to N independent single-sequence
+// InferenceEngine runs — under BF16, under OWQ weights + log2 softmax, with
+// the thread pool on, and across preemption (truncate + replay).
+#include "llm/serving_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "eval/perplexity.h"
+#include "eval/schemes.h"
+#include "llm/engine.h"
+
+namespace opal {
+namespace {
+
+ModelConfig tiny_config() {
+  return scaled_for_eval(llama2_7b(), 128, 2, 64);
+}
+
+const SyntheticModel& tiny_model() {
+  static const SyntheticModel model(tiny_config(), 42);
+  return model;
+}
+
+struct Decoded {
+  std::vector<std::size_t> tokens;
+  // logits[p] = logits observed after feeding tokens[p].
+  std::vector<std::vector<float>> logits;
+};
+
+/// Single-sequence greedy reference with the same feeding rule as
+/// ServingEngine: feed every known token; once all are fed, extend greedily
+/// until prompt + max_new tokens exist. The final generated token is pure
+/// output and is never fed back.
+Decoded reference_decode(const std::shared_ptr<const PreparedModel>& model,
+                         std::vector<std::size_t> prompt,
+                         std::size_t max_new) {
+  InferenceEngine engine(model);
+  Decoded out;
+  out.tokens = std::move(prompt);
+  const std::size_t target = out.tokens.size() + max_new;
+  std::size_t fed = 0;
+  while (fed < out.tokens.size()) {
+    const auto logits = engine.step(out.tokens[fed]);
+    out.logits.emplace_back(logits.begin(), logits.end());
+    ++fed;
+    if (fed == out.tokens.size() && out.tokens.size() < target) {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < logits.size(); ++i) {
+        if (logits[i] > logits[best]) best = i;
+      }
+      out.tokens.push_back(best);
+      if (out.tokens.size() == target) break;
+    }
+  }
+  return out;
+}
+
+struct Captured {
+  std::map<std::size_t, std::vector<float>> logits_at;  // position -> logits
+};
+
+void expect_bitwise_equal(const Decoded& ref,
+                          const std::vector<std::size_t>& got_tokens,
+                          const Captured& got, const std::string& what) {
+  ASSERT_EQ(ref.tokens, got_tokens) << what;
+  ASSERT_EQ(ref.logits.size(), got.logits_at.size()) << what;
+  for (std::size_t p = 0; p < ref.logits.size(); ++p) {
+    const auto it = got.logits_at.find(p);
+    ASSERT_NE(it, got.logits_at.end()) << what << " position " << p;
+    ASSERT_EQ(ref.logits[p].size(), it->second.size());
+    for (std::size_t i = 0; i < ref.logits[p].size(); ++i) {
+      ASSERT_EQ(ref.logits[p][i], it->second[i])
+          << what << " position " << p << " logit " << i;
+    }
+  }
+}
+
+std::vector<Request> interleaved_requests() {
+  // Different lengths and different generation budgets, so the batch holds
+  // sequences at different positions on every step.
+  return {
+      Request{{3, 1, 4, 1, 5}, 6},
+      Request{{2, 7}, 9},
+      Request{{9, 2, 6, 5, 3, 5, 8}, 3},
+      Request{{1}, 12},
+      Request{{4, 4, 4}, 0},
+  };
+}
+
+void run_equivalence(const std::shared_ptr<const PreparedModel>& model,
+                     ServingConfig cfg, const std::string& what) {
+  const auto requests = interleaved_requests();
+  ServingEngine engine(model, cfg);
+
+  std::map<RequestId, Captured> captured;
+  engine.set_logits_observer([&](RequestId id, std::size_t pos,
+                                 std::span<const float> logits) {
+    captured[id].logits_at[pos].assign(logits.begin(), logits.end());
+  });
+
+  std::vector<RequestId> ids;
+  for (const auto& req : requests) ids.push_back(engine.submit(req));
+  engine.run();
+  EXPECT_EQ(engine.running(), 0u);
+  EXPECT_EQ(engine.queued(), 0u);
+
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const auto ref = reference_decode(model, requests[r].prompt,
+                                      requests[r].max_new_tokens);
+    const auto& result = engine.result(ids[r]);
+    EXPECT_EQ(result.status, RequestStatus::kFinished);
+    EXPECT_EQ(result.prompt_len, requests[r].prompt.size());
+    expect_bitwise_equal(ref, result.tokens, captured[ids[r]],
+                         what + " request " + std::to_string(r));
+  }
+}
+
+TEST(ServingEngine, BatchOfNMatchesNSingleRuns_Bf16) {
+  EngineConfig cfg;
+  cfg.max_seq_len = 32;
+  auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+  run_equivalence(model, ServingConfig{4, 0}, "bf16 batch=4");
+}
+
+TEST(ServingEngine, BatchSmallerThanRequestsStillMatches) {
+  // max_batch = 2 forces queueing + continuous refill while 5 requests run.
+  EngineConfig cfg;
+  cfg.max_seq_len = 32;
+  auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+  run_equivalence(model, ServingConfig{2, 0}, "bf16 batch=2");
+}
+
+TEST(ServingEngine, BatchMatchesSingles_OwqWeightsAndLog2Softmax) {
+  const auto calibration = calibrate_model(tiny_model(), 32, 3);
+  EngineConfig cfg = scheme_mx_opal(4, 4, 7);
+  cfg.log2_softmax = true;
+  cfg.softmax_bits = 7;
+  cfg.max_seq_len = 32;
+  auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg,
+                                                     &calibration);
+  ASSERT_GT(model->fp_weight_fraction(), 0.0);  // OWQ actually active
+  run_equivalence(model, ServingConfig{4, 0}, "owq+log2 batch=4");
+  // Same config through the thread pool: this is what actually exercises
+  // the shared-quantizer thread-safety contract documented in quantizer.h
+  // (the BF16 threaded test runs with null quantizers).
+  run_equivalence(model, ServingConfig{4, 3}, "owq+log2 batch=4 threads=3");
+}
+
+TEST(ServingEngine, ThreadPoolDecodeIsBitwiseDeterministic) {
+  EngineConfig cfg;
+  cfg.max_seq_len = 32;
+  auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+  run_equivalence(model, ServingConfig{4, 3}, "bf16 batch=4 threads=3");
+}
+
+TEST(ServingEngine, PreemptTruncateReplayMatchesUninterrupted) {
+  EngineConfig cfg;
+  cfg.max_seq_len = 32;
+  auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+  const std::vector<std::size_t> prompt = {3, 1, 4, 1, 5};
+  const std::size_t max_new = 6;
+  const auto ref = reference_decode(model, prompt, max_new);
+
+  ServingEngine engine(model, ServingConfig{2, 0});
+  Captured captured;
+  const RequestId id = engine.submit(Request{prompt, max_new});
+  engine.set_logits_observer([&](RequestId rid, std::size_t pos,
+                                 std::span<const float> logits) {
+    if (rid != id) return;
+    std::vector<float> now(logits.begin(), logits.end());
+    // Replayed positions must reproduce the original logits bitwise.
+    const auto it = captured.logits_at.find(pos);
+    if (it != captured.logits_at.end()) {
+      ASSERT_EQ(it->second, now) << "replay diverged at position " << pos;
+    }
+    captured.logits_at[pos] = std::move(now);
+  });
+
+  // Decode 4 steps, evict back to a 2-token KV prefix, then finish.
+  for (int i = 0; i < 4; ++i) engine.step();
+  engine.preempt(id, 2);
+  EXPECT_EQ(engine.queued(), 1u);
+  engine.run();
+
+  const auto& result = engine.result(id);
+  EXPECT_EQ(result.status, RequestStatus::kFinished);
+  expect_bitwise_equal(ref, result.tokens, captured, "preempt/resume");
+}
+
+TEST(ServingEngine, DefaultPreemptReleasesKvAndReplaysFromScratch) {
+  EngineConfig cfg;
+  cfg.max_seq_len = 32;
+  auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+  const std::vector<std::size_t> prompt = {9, 2, 6};
+  const auto ref = reference_decode(model, prompt, 5);
+
+  ServingEngine engine(model, ServingConfig{2, 0});
+  const RequestId id = engine.submit(Request{prompt, 5});
+  for (int i = 0; i < 3; ++i) engine.step();
+  engine.preempt(id);  // keep_positions = 0: KV allocation dropped
+  EXPECT_EQ(engine.queued(), 1u);
+  engine.run();
+  const auto result = engine.result(id);
+  EXPECT_EQ(result.status, RequestStatus::kFinished);
+  EXPECT_EQ(result.tokens, ref.tokens);
+}
+
+TEST(ServingEngine, EvictsWhenKvCacheExhausted) {
+  EngineConfig cfg;
+  cfg.max_seq_len = 6;
+  auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+  ServingEngine engine(model, ServingConfig{2, 0});
+  const RequestId longer = engine.submit(Request{{1, 2, 3}, 10});  // wants 13
+  const RequestId fits = engine.submit(Request{{5, 6}, 2});
+  engine.run();
+  EXPECT_EQ(engine.result(longer).status, RequestStatus::kEvicted);
+  EXPECT_EQ(engine.result(longer).tokens.size(), 7u);  // 6 fed + 1 generated
+  EXPECT_EQ(engine.result(fits).status, RequestStatus::kFinished);
+  EXPECT_EQ(engine.result(fits).tokens.size(), 4u);
+}
+
+TEST(ServingEngine, ThrowingObserverLeavesEngineConsistent) {
+  EngineConfig cfg;
+  cfg.max_seq_len = 32;
+  auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+  const std::vector<std::size_t> prompt = {3, 1, 4};
+  const std::size_t max_new = 5;
+  const auto ref = reference_decode(model, prompt, max_new);
+
+  ServingEngine engine(model, ServingConfig{2, 0});
+  const RequestId id = engine.submit(Request{prompt, max_new});
+  int calls = 0;
+  engine.set_logits_observer(
+      [&](RequestId, std::size_t, std::span<const float>) {
+        if (++calls == 2) throw std::runtime_error("observer boom");
+      });
+  EXPECT_EQ(engine.step(), 1u);
+  EXPECT_THROW(engine.step(), std::runtime_error);
+  // The step's bookkeeping completed before the throw: continuing decodes
+  // the exact same tokens as an uninterrupted run.
+  engine.set_logits_observer(nullptr);
+  engine.run();
+  const auto result = engine.result(id);
+  EXPECT_EQ(result.status, RequestStatus::kFinished);
+  EXPECT_EQ(result.tokens, ref.tokens);
+}
+
+TEST(ServingEngine, ObserverThrowOnFinishingStepDoesNotStrandSequence) {
+  // The throw lands on the step where the scoring request completes: the
+  // sequence must still retire as kFinished on the next step instead of
+  // being fed past the end of its token vector.
+  EngineConfig cfg;
+  cfg.max_seq_len = 16;
+  auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+  ServingEngine engine(model, ServingConfig{2, 0});
+  const RequestId id = engine.submit(Request{{3, 1}, 0});
+  int calls = 0;
+  engine.set_logits_observer(
+      [&](RequestId, std::size_t, std::span<const float>) {
+        if (++calls == 2) throw std::runtime_error("observer boom");
+      });
+  EXPECT_EQ(engine.step(), 1u);
+  EXPECT_THROW(engine.step(), std::runtime_error);  // finishing step
+  engine.run();
+  EXPECT_EQ(engine.result(id).status, RequestStatus::kFinished);
+  EXPECT_EQ(engine.result(id).tokens.size(), 2u);
+  EXPECT_EQ(engine.running(), 0u);
+}
+
+TEST(ServingEngine, CompletesAtExactKvCapacityBoundary) {
+  // prompt + max_new == max_seq_len + 1: every requested token fits because
+  // the final generated token is never fed, so this must be kFinished, not
+  // kEvicted.
+  EngineConfig cfg;
+  cfg.max_seq_len = 6;
+  auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+  ServingEngine engine(model, ServingConfig{1, 0});
+  const RequestId id = engine.submit(Request{{1, 2, 3}, 4});  // target 7
+  engine.run();
+  const auto result = engine.result(id);
+  EXPECT_EQ(result.status, RequestStatus::kFinished);
+  EXPECT_EQ(result.tokens.size(), 7u);
+  EXPECT_EQ(result.generated(), 4u);
+}
+
+TEST(ServingEngine, SequencesAtDifferentPositionsCoexist) {
+  EngineConfig cfg;
+  cfg.max_seq_len = 32;
+  auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+  ServingEngine engine(model, ServingConfig{2, 0});
+  engine.submit(Request{{1, 2, 3, 4, 5, 6}, 2});
+  engine.submit(Request{{7}, 3});
+  // After two steps: seq A is mid-prompt (position 2), seq B has finished
+  // its prompt and is generating (position 2 but token index 2 of 4).
+  engine.step();
+  engine.step();
+  EXPECT_EQ(engine.running(), 2u);
+  const auto decoded = engine.step();
+  EXPECT_EQ(decoded, 2u);  // both still decode in the same step
+  engine.run();
+}
+
+TEST(ServingEngine, RejectsEmptyPromptAndUnknownId) {
+  EngineConfig cfg;
+  auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+  ServingEngine engine(model, ServingConfig{2, 0});
+  EXPECT_THROW(engine.submit(Request{{}, 4}), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(engine.result(123)), std::invalid_argument);
+  EXPECT_THROW(engine.preempt(123), std::invalid_argument);
+  // Out-of-vocab tokens are rejected at submit time: a throw mid-batch
+  // would desync the co-batched sequences' KV caches.
+  const std::size_t vocab = tiny_model().config().vocab;
+  EXPECT_THROW(engine.submit(Request{{1, vocab}, 0}), std::invalid_argument);
+  const RequestId ok = engine.submit(Request{{1, vocab - 1}, 1});
+  engine.run();
+  EXPECT_EQ(engine.result(ok).status, RequestStatus::kFinished);
+}
+
+TEST(ServingEngine, ClearFinishedDropsRetainedResults) {
+  EngineConfig cfg;
+  cfg.max_seq_len = 16;
+  auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+  ServingEngine engine(model, ServingConfig{2, 0});
+  const RequestId id = engine.submit(Request{{3, 4}, 2});
+  engine.run();
+  EXPECT_TRUE(engine.finished(id));
+  engine.clear_finished();
+  EXPECT_THROW(static_cast<void>(engine.result(id)), std::invalid_argument);
+  // The engine keeps serving after a harvest.
+  const RequestId next = engine.submit(Request{{5}, 1});
+  engine.run();
+  EXPECT_EQ(engine.result(next).status, RequestStatus::kFinished);
+}
+
+TEST(ServingEngine, SharedPreparedModelAcrossFacadesAndServing) {
+  // One PreparedModel serves an InferenceEngine facade and a batched
+  // engine at the same time; storage accounting is shared, not repeated.
+  EngineConfig cfg;
+  cfg.max_seq_len = 32;
+  auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+  InferenceEngine facade(model);
+  ServingEngine serving(model, ServingConfig{2, 0});
+  EXPECT_EQ(facade.weight_storage_bits(), model->weight_storage_bits());
+  const RequestId id = serving.submit(Request{{3}, 2});
+  serving.run();
+  const auto logits = facade.step(3);
+  EXPECT_EQ(serving.result(id).tokens.size(), 3u);
+  EXPECT_EQ(logits.size(), tiny_model().config().vocab);
+}
+
+TEST(Perplexity, BatchedEvaluationMatchesPerStream) {
+  EngineConfig cfg;
+  cfg.max_seq_len = 48;
+  auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+
+  std::vector<std::vector<std::size_t>> streams;
+  InferenceEngine generator(model);
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    streams.push_back(generate_stream(generator, 24, 100 + s));
+  }
+
+  const auto batched = evaluate_perplexity_batched(*model, streams, 2);
+  ASSERT_EQ(batched.size(), streams.size());
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    InferenceEngine single(model);
+    const double expected = evaluate_perplexity(single, streams[s]);
+    EXPECT_EQ(batched[s], expected) << "stream " << s;  // bitwise
+  }
+}
+
+TEST(Perplexity, BatchedEvaluationRejectsOverlongStream) {
+  EngineConfig cfg;
+  cfg.max_seq_len = 8;
+  const PreparedModel model(tiny_model(), cfg);
+  // 9 predictions need 9 cached positions > 8: must fail loudly instead of
+  // silently scoring a truncated prefix.
+  std::vector<std::vector<std::size_t>> streams = {
+      {0, 1, 2, 3, 4, 5, 6, 7, 0, 1}};
+  EXPECT_THROW(
+      static_cast<void>(evaluate_perplexity_batched(model, streams)),
+      std::invalid_argument);
+  // A stream needing exactly max_seq_len fed tokens is fine.
+  streams[0].pop_back();
+  const auto ppl = evaluate_perplexity_batched(model, streams);
+  EXPECT_TRUE(std::isfinite(ppl[0]));
+}
+
+}  // namespace
+}  // namespace opal

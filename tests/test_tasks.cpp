@@ -102,7 +102,8 @@ TEST(McTask, RejectsDegenerateConfigs) {
   McTaskConfig bad = small_task();
   bad.n_candidates = 1;
   EXPECT_THROW(make_mc_task(teacher, bad), std::invalid_argument);
-  EXPECT_THROW(evaluate_mc_accuracy(teacher, {}), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(evaluate_mc_accuracy(teacher, {})),
+               std::invalid_argument);
 }
 
 }  // namespace

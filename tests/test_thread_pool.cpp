@@ -1,0 +1,60 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace opal {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h = 0;
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroThreadsRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  std::size_t sum = 0;
+  pool.parallel_for(10, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum, 45u);
+}
+
+TEST(ThreadPool, EmptyJobReturnsImmediately) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(8, [&](std::size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 400);
+}
+
+TEST(ThreadPool, PropagatesExceptionToCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(16,
+                                 [](std::size_t i) {
+                                   if (i == 7) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool survives a failed job.
+  std::atomic<int> count{0};
+  pool.parallel_for(4, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 4);
+}
+
+}  // namespace
+}  // namespace opal

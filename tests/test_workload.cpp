@@ -75,7 +75,9 @@ TEST(Workload, PrefillBatchesWeightOps) {
   const std::size_t prompt = 64;
   const auto ops = prefill_ops(model, prompt, 4, {4, 7}, true, true);
   for (const auto& op : ops) {
-    if (op.kind == OpKind::kWeightMxv) EXPECT_EQ(op.batch, prompt);
+    if (op.kind == OpKind::kWeightMxv) {
+      EXPECT_EQ(op.batch, prompt);
+    }
   }
   // Prefill MACs ~= prompt_len x decode MACs for the projection part.
   const auto decode = token_ops(model, prompt, 4, {4, 7}, true, true);
