@@ -1,10 +1,14 @@
-// Batched serving demo: one shared PreparedModel (quantized once), a
-// ServingEngine with continuous batching, and more requests than batch
-// slots — sequences at different positions decode together, finished slots
-// refill from the queue mid-flight, and the per-step decode fans out across
-// a small thread pool.
+// Batched serving demo on the paged KV cache: one shared PreparedModel
+// (quantized once), a ServingEngine whose block pool is deliberately sized
+// to ~1/4 of the dense-cache footprint, and more requests than batch slots.
+// Because sequences only hold blocks for positions actually written, the
+// squeezed pool still runs a full 4-slot batch that dense per-sequence
+// caches could not fit (4 dense caches need 4x the full-length footprint);
+// under pressure the engine preempts the youngest sequence instead of
+// failing. Every result is checked against a dense fp32 single-sequence
+// decode — paged fp32 serving is bitwise identical.
 //
-//   quantize once -> submit 6 requests -> 4 slots -> drain -> report
+//   quantize once -> 6 requests -> 4 slots, 1/4 memory -> drain -> verify
 #include <chrono>
 #include <cstdio>
 #include <vector>
@@ -12,6 +16,18 @@
 #include "eval/schemes.h"
 #include "llm/engine.h"
 #include "llm/serving_engine.h"
+
+namespace {
+
+void print_stats(const char* when, const opal::ServingEngine& engine) {
+  const auto s = engine.stats();
+  std::printf("  [%s] blocks %zu used / %zu free, %zu running, %zu queued, "
+              "%zu preemptions, %zu evictions, %zu tokens decoded\n",
+              when, s.blocks_in_use, s.blocks_free, s.running, s.queued,
+              s.preemptions, s.evictions, s.tokens_decoded);
+}
+
+}  // namespace
 
 int main() {
   using namespace opal;
@@ -23,6 +39,7 @@ int main() {
 
   EngineConfig engine_cfg = scheme_mx_opal(4, 4, 7);
   engine_cfg.max_seq_len = 96;
+  engine_cfg.kv_block_size = 8;
 
   const auto t_prep0 = std::chrono::steady_clock::now();
   auto prepared = std::make_shared<const PreparedModel>(model, engine_cfg,
@@ -37,7 +54,17 @@ int main() {
   ServingConfig serving_cfg;
   serving_cfg.max_batch = 4;
   serving_cfg.n_threads = 2;
+  // Dense-equivalent footprint would be max_batch full-length sequences;
+  // give the pool a quarter of that and let paging absorb the difference.
+  const std::size_t dense_blocks =
+      serving_cfg.max_batch * prepared->kv_blocks_per_sequence();
+  serving_cfg.kv_pool_blocks = dense_blocks / 4;
   ServingEngine engine(prepared, serving_cfg);
+  std::printf("KV pool: %zu blocks of %zu positions (%s entries, %zu KiB) "
+              "— 1/4 of the %zu-block dense-equivalent footprint\n",
+              engine.kv_pool().n_blocks(), engine.kv_pool().block_size(),
+              to_string(engine.kv_pool().mode()).c_str(),
+              engine.kv_pool().storage_bytes() / 1024, dense_blocks);
 
   const std::vector<Request> requests = {
       {{11, 3, 52, 9}, 24},
@@ -60,21 +87,42 @@ int main() {
     if (n == 0) break;
     decoded += n;
     ++steps;
-    if (steps % 16 == 0) {
-      std::printf("  step %3zu: %zu running, %zu queued\n", steps,
-                  engine.running(), engine.queued());
-    }
+    if (steps % 16 == 0) print_stats("mid-serve", engine);
   }
   const auto t1 = std::chrono::steady_clock::now();
   const double serve_s = std::chrono::duration<double>(t1 - t0).count();
+  print_stats("drained", engine);
 
-  std::printf("\n%-9s %-9s %7s %10s %7s\n", "request", "status", "prompt",
-              "generated", "total");
+  // Dense fp32 baseline: replay each request through a fresh batch-of-1
+  // facade (dense KV cache) and demand bitwise-identical tokens.
+  std::size_t mismatches = 0;
+  std::printf("\n%-9s %-9s %7s %10s %7s  %s\n", "request", "status", "prompt",
+              "generated", "total", "vs dense");
   for (std::size_t r = 0; r < ids.size(); ++r) {
-    const auto& result = engine.result(ids[r]);
-    std::printf("%-9zu %-9s %7zu %10zu %7zu\n", r,
+    const auto result = engine.result(ids[r]);
+    InferenceEngine dense(prepared);
+    std::vector<std::size_t> ref = requests[r].prompt;
+    const std::size_t target = ref.size() + requests[r].max_new_tokens;
+    std::size_t fed = 0;
+    while (fed < ref.size()) {
+      const auto logits = dense.step(ref[fed]);
+      ++fed;
+      if (fed == ref.size() && ref.size() < target) {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < logits.size(); ++i) {
+          if (logits[i] > logits[best]) best = i;
+        }
+        ref.push_back(best);
+        if (ref.size() == target) break;
+      }
+    }
+    const bool same = ref == result.tokens;
+    mismatches += same ? 0 : 1;
+    std::printf("%-9zu %-9s %7zu %10zu %7zu  %s\n", r,
                 to_string(result.status).c_str(), result.prompt_len,
-                result.generated(), result.tokens.size());
+                result.generated(), result.tokens.size(),
+                same ? "identical" : "MISMATCH");
+    engine.release(ids[r]);  // drop the harvested result immediately
   }
 
   std::printf("\nprepare: %.2fs (once)   serve: %.2fs, %zu steps, "
@@ -82,5 +130,12 @@ int main() {
               std::chrono::duration<double>(t_prep1 - t_prep0).count(),
               serve_s, steps, decoded,
               static_cast<double>(decoded) / serve_s);
+  if (mismatches != 0) {
+    std::printf("ERROR: %zu requests diverged from the dense baseline\n",
+                mismatches);
+    return 1;
+  }
+  std::printf("all %zu results bitwise identical to the dense fp32 "
+              "baseline\n", ids.size());
   return 0;
 }

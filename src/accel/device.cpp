@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/tensor.h"
+#include "llm/kv_cache.h"
 #include "quant/format.h"
 
 namespace opal {
@@ -201,9 +202,12 @@ OpBytes op_bytes(const DeviceConfig& device, const ModelConfig& model,
     case OpKind::kKvMxv:
     case OpKind::kShiftAccAv: {
       // K or V cache streamed from DRAM through the activation buffer.
-      const double kv_bytes = static_cast<double>(seq_len) *
-                              static_cast<double>(model.d_model) *
-                              act_elem_bits / 8.0;
+      // Block-granular: the paged cache stores whole blocks (sequence
+      // rounded up) plus a per-block scale at sub-32-bit precision.
+      const double kv_bytes = static_cast<double>(KvCache::matrix_bytes(
+          model.d_model, seq_len,
+          static_cast<std::size_t>(device.act.max()),
+          device.kv_block_size));
       bytes.dram = kv_bytes;
       bytes.act_buffer = 2.0 * kv_bytes * batch;
       break;

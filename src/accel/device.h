@@ -45,6 +45,13 @@ struct DeviceConfig {
   ActBits act;
   bool log2_softmax = true;
   bool quantize_acts = true;
+  /// Positions per KV-cache block: K/V DRAM traffic and buffer residency
+  /// are sized block-granularly (rounding the sequence up to whole blocks,
+  /// plus per-block scales for sub-32-bit entries), mirroring the serving
+  /// layer's paged KvBlockPool layout. Set it to the served
+  /// EngineConfig::kv_block_size when modeling a specific deployment; the
+  /// default matches EngineConfig's default.
+  std::size_t kv_block_size = 16;
   double act_outlier_fraction = 4.0 / 128.0;  // n/k
   double weight_fp_fraction = 0.0025;
 

@@ -1,0 +1,231 @@
+#include "llm/kv_block_pool.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/tensor.h"
+
+namespace opal {
+
+namespace {
+
+// 7-bit log2 code width (the paper's attention-map path); code kZeroCode
+// decodes to exactly 0.
+constexpr int kLog2CodeBits = 7;
+constexpr int kLog2CodeMax = (1 << kLog2CodeBits) - 1;  // 127
+constexpr std::uint8_t kSignBit = 0x80;
+
+float row_amax(std::span<const float> v) {
+  float amax = 0.0f;
+  for (const float x : v) amax = std::max(amax, std::fabs(x));
+  return amax;
+}
+
+std::int8_t encode_log2(float v, int exponent) {
+  const float mag = std::fabs(v);
+  std::uint8_t byte;
+  if (mag == 0.0f) {
+    byte = kLog2CodeMax;  // exact zero, positive sign
+  } else {
+    // mag <= 2^exponent by construction, so -log2(mag / 2^e) >= 0.
+    const float neg_log2 =
+        -(std::log2(mag) - static_cast<float>(exponent));
+    const long code = std::lround(neg_log2);
+    const long clipped = std::clamp(code, 0L, static_cast<long>(kLog2CodeMax));
+    byte = static_cast<std::uint8_t>(clipped);
+    if (v < 0.0f) byte |= kSignBit;
+  }
+  return static_cast<std::int8_t>(byte);
+}
+
+float decode_log2(std::int8_t stored, int exponent) {
+  const auto byte = static_cast<std::uint8_t>(stored);
+  const int code = byte & kLog2CodeMax;
+  if (code == kLog2CodeMax) return 0.0f;
+  const float mag = std::exp2(static_cast<float>(exponent - code));
+  return (byte & kSignBit) ? -mag : mag;
+}
+
+}  // namespace
+
+std::string to_string(KvQuantMode mode) {
+  switch (mode) {
+    case KvQuantMode::kFp32:
+      return "fp32";
+    case KvQuantMode::kInt8:
+      return "int8";
+    case KvQuantMode::kLog2:
+      return "log2-7bit";
+  }
+  return "?";
+}
+
+std::size_t kv_bits_per_entry(KvQuantMode mode) {
+  return mode == KvQuantMode::kFp32 ? 32 : 8;
+}
+
+KvBlockPool::KvBlockPool(std::size_t n_blocks, std::size_t block_size,
+                         std::size_t d_model, KvQuantMode mode)
+    : n_blocks_(n_blocks), block_size_(block_size), d_model_(d_model),
+      mode_(mode) {
+  require(n_blocks >= 1 && block_size >= 1 && d_model >= 1,
+          "KvBlockPool: n_blocks, block_size, d_model must be >= 1");
+  const std::size_t entries = n_blocks * block_size * d_model;
+  if (mode_ == KvQuantMode::kFp32) {
+    fdata_.resize(entries);
+  } else {
+    qdata_.resize(entries);
+  }
+  scales_.assign(n_blocks, 0.0f);
+  fill_.assign(n_blocks, 0);
+  in_use_.assign(n_blocks, 0);
+  free_list_.reserve(n_blocks);
+  // LIFO stack; push in reverse so the first allocation returns block 0.
+  for (std::size_t b = n_blocks; b > 0; --b) {
+    free_list_.push_back(static_cast<BlockId>(b - 1));
+  }
+}
+
+KvBlockPool::BlockId KvBlockPool::allocate() {
+  if (free_list_.empty()) {
+    throw KvPoolExhausted("KvBlockPool::allocate: no free blocks");
+  }
+  const BlockId id = free_list_.back();
+  free_list_.pop_back();
+  in_use_[id] = 1;
+  scales_[id] = 0.0f;
+  fill_[id] = 0;
+  return id;
+}
+
+void KvBlockPool::check_block(BlockId id, const char* what) const {
+  require(id < n_blocks_ && in_use_[id] != 0, what);
+}
+
+void KvBlockPool::free(BlockId id) {
+  check_block(id, "KvBlockPool::free: bad or already-free block");
+  in_use_[id] = 0;
+  free_list_.push_back(id);
+}
+
+void KvBlockPool::write_row(BlockId id, std::size_t row,
+                            std::span<const float> v) {
+  check_block(id, "KvBlockPool::write_row: bad or free block");
+  require(row < block_size_, "KvBlockPool::write_row: row out of range");
+  require(v.size() == d_model_, "KvBlockPool::write_row: dim mismatch");
+  const std::size_t base = (id * block_size_ + row) * d_model_;
+
+  switch (mode_) {
+    case KvQuantMode::kFp32:
+      std::copy(v.begin(), v.end(), fdata_.begin() + base);
+      break;
+
+    case KvQuantMode::kInt8: {
+      const float ra = row_amax(v);
+      float amax = scales_[id];
+      if (ra > amax) {
+        // Grow-only scale: rescale the block's existing codes to the new
+        // amax so one scale covers every row.
+        if (amax > 0.0f) {
+          const float factor = amax / ra;
+          const std::size_t block_base = id * block_size_ * d_model_;
+          const std::size_t live = fill_[id] * d_model_;
+          for (std::size_t i = 0; i < live; ++i) {
+            qdata_[block_base + i] = static_cast<std::int8_t>(
+                std::lround(qdata_[block_base + i] * factor));
+          }
+        }
+        amax = ra;
+        scales_[id] = amax;
+      }
+      if (amax == 0.0f) {
+        std::fill_n(qdata_.begin() + base, d_model_, std::int8_t{0});
+      } else {
+        const float inv_s = 127.0f / amax;
+        for (std::size_t c = 0; c < d_model_; ++c) {
+          const long q = std::lround(v[c] * inv_s);
+          qdata_[base + c] =
+              static_cast<std::int8_t>(std::clamp(q, -127L, 127L));
+        }
+      }
+      break;
+    }
+
+    case KvQuantMode::kLog2: {
+      const float ra = row_amax(v);
+      int exponent = static_cast<int>(scales_[id]);
+      if (ra > 0.0f) {
+        const int needed =
+            static_cast<int>(std::ceil(std::log2(ra)));
+        if (fill_[id] == 0) {
+          exponent = needed;
+          scales_[id] = static_cast<float>(exponent);
+        } else if (needed > exponent) {
+          // Power-of-two scale growth: an integer add on every live code
+          // (a right-shift of the stored values in hardware).
+          const int delta = needed - exponent;
+          const std::size_t block_base = id * block_size_ * d_model_;
+          const std::size_t live = fill_[id] * d_model_;
+          for (std::size_t i = 0; i < live; ++i) {
+            const auto byte =
+                static_cast<std::uint8_t>(qdata_[block_base + i]);
+            const int code =
+                std::min(kLog2CodeMax, (byte & kLog2CodeMax) + delta);
+            qdata_[block_base + i] = static_cast<std::int8_t>(
+                code == kLog2CodeMax
+                    ? kLog2CodeMax  // saturated codes flush to +0
+                    : ((byte & kSignBit) | code));
+          }
+          exponent = needed;
+          scales_[id] = static_cast<float>(exponent);
+        }
+      }
+      for (std::size_t c = 0; c < d_model_; ++c) {
+        qdata_[base + c] = encode_log2(v[c], exponent);
+      }
+      break;
+    }
+  }
+  fill_[id] = std::max(fill_[id], row + 1);
+}
+
+void KvBlockPool::read_row(BlockId id, std::size_t row,
+                           std::span<float> out) const {
+  check_block(id, "KvBlockPool::read_row: bad or free block");
+  require(row < block_size_, "KvBlockPool::read_row: row out of range");
+  require(out.size() == d_model_, "KvBlockPool::read_row: dim mismatch");
+  const std::size_t base = (id * block_size_ + row) * d_model_;
+
+  switch (mode_) {
+    case KvQuantMode::kFp32:
+      std::copy_n(fdata_.begin() + base, d_model_, out.begin());
+      break;
+    case KvQuantMode::kInt8: {
+      const float s = scales_[id] / 127.0f;
+      for (std::size_t c = 0; c < d_model_; ++c) {
+        out[c] = static_cast<float>(qdata_[base + c]) * s;
+      }
+      break;
+    }
+    case KvQuantMode::kLog2: {
+      const int exponent = static_cast<int>(scales_[id]);
+      for (std::size_t c = 0; c < d_model_; ++c) {
+        out[c] = decode_log2(qdata_[base + c], exponent);
+      }
+      break;
+    }
+  }
+}
+
+float KvBlockPool::block_scale(BlockId id) const {
+  check_block(id, "KvBlockPool::block_scale: bad or free block");
+  return scales_[id];
+}
+
+std::size_t KvBlockPool::bytes_per_block() const {
+  const std::size_t payload =
+      block_size_ * d_model_ * kv_bits_per_entry(mode_) / 8;
+  return payload + (mode_ == KvQuantMode::kFp32 ? 0 : sizeof(float));
+}
+
+}  // namespace opal

@@ -1,0 +1,116 @@
+// Shared block pool for paged KV caches (vLLM-style block allocation).
+//
+// A KvBlockPool owns a fixed set of equal-sized blocks, each holding
+// `block_size` positions x `d_model` K or V entries for one layer. Blocks are
+// allocated and freed in O(1) through a free list, so a serving layer can
+// hand cache space to whichever sequence needs it next instead of reserving
+// max_seq_len rows per sequence up front. Entries are stored in one of three
+// modes:
+//
+//   * kFp32 — raw binary32; reads return the written bits verbatim, so a
+//     paged fp32 cache is bitwise identical to the dense KvCache (the
+//     equivalence tests depend on this).
+//   * kInt8 — symmetric int8 with one fp32 scale per block (scale =
+//     amax / 127). The block's amax only grows: when a newly written row
+//     exceeds it, the block's existing codes are rescaled to the new amax.
+//   * kLog2 — the paper's 7-bit log2 form: each entry is a sign bit plus a
+//     7-bit code c with |v| ~= 2^e * 2^-c where 2^e is the block's
+//     power-of-two scale. Code 127 decodes to exactly 0. Scale growth is an
+//     integer add on the codes (a hardware shift), matching the log2-domain
+//     attention path of Section 4.2.
+//
+// Quantization state is per block and depends only on the sequence of rows
+// written into the block since it was allocated, so replaying the same rows
+// through a fresh block reproduces the same codes — full preemption followed
+// by recompute is deterministic in every mode.
+//
+// The pool itself is not internally synchronized: allocate/free/write must
+// be externally serialized (ServingEngine reserves blocks in its serial
+// phase; the parallel decode phase only reads and writes rows of blocks
+// owned by distinct sequences, which touch disjoint storage).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace opal {
+
+enum class KvQuantMode : std::uint8_t { kFp32, kInt8, kLog2 };
+
+[[nodiscard]] std::string to_string(KvQuantMode mode);
+
+/// Storage bits per cached K/V entry: 32 (fp32), 8 (int8), 8 (log2: 1 sign
+/// bit + 7-bit code).
+[[nodiscard]] std::size_t kv_bits_per_entry(KvQuantMode mode);
+
+/// Thrown when an allocation is requested from an empty pool. Serving layers
+/// catch memory pressure *before* decode (preempt/evict), so in normal
+/// operation this only fires when a PagedKvCache is driven directly.
+struct KvPoolExhausted : std::runtime_error {
+  explicit KvPoolExhausted(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class KvBlockPool {
+ public:
+  using BlockId = std::uint32_t;
+
+  KvBlockPool(std::size_t n_blocks, std::size_t block_size,
+              std::size_t d_model, KvQuantMode mode = KvQuantMode::kFp32);
+
+  /// O(1). Returns a block with reset quantization state (scale 0, no rows).
+  /// Throws KvPoolExhausted when no block is free.
+  [[nodiscard]] BlockId allocate();
+
+  /// O(1). Double frees and out-of-range ids throw.
+  void free(BlockId id);
+
+  [[nodiscard]] std::size_t n_blocks() const { return n_blocks_; }
+  [[nodiscard]] std::size_t free_blocks() const { return free_list_.size(); }
+  [[nodiscard]] std::size_t blocks_in_use() const {
+    return n_blocks_ - free_list_.size();
+  }
+  [[nodiscard]] std::size_t block_size() const { return block_size_; }
+  [[nodiscard]] std::size_t d_model() const { return d_model_; }
+  [[nodiscard]] KvQuantMode mode() const { return mode_; }
+
+  /// Quantizes one position's d_model-long vector into row `row` of `id`,
+  /// growing the block scale (and rescaling earlier rows) if needed.
+  void write_row(BlockId id, std::size_t row, std::span<const float> v);
+
+  /// Dequantizes row `row` of `id` into `out` (d_model floats). In kFp32
+  /// mode this returns the written bits verbatim.
+  void read_row(BlockId id, std::size_t row, std::span<float> out) const;
+
+  /// Current block scale: amax (kInt8), exp2 exponent as a float (kLog2),
+  /// or 0 (kFp32). Exposed for tests and accounting.
+  [[nodiscard]] float block_scale(BlockId id) const;
+
+  /// Payload bytes of one block (quantized entries + per-block scale).
+  [[nodiscard]] std::size_t bytes_per_block() const;
+  /// Payload bytes of the whole pool.
+  [[nodiscard]] std::size_t storage_bytes() const {
+    return n_blocks_ * bytes_per_block();
+  }
+
+ private:
+  void check_block(BlockId id, const char* what) const;
+
+  std::size_t n_blocks_;
+  std::size_t block_size_;
+  std::size_t d_model_;
+  KvQuantMode mode_;
+
+  std::vector<float> fdata_;        // kFp32: n_blocks * block_size * d_model
+  std::vector<std::int8_t> qdata_;  // kInt8/kLog2 codes, same extent
+  std::vector<float> scales_;       // per block: amax (int8) or exponent (log2)
+  std::vector<std::size_t> fill_;   // rows written since allocate (for rescale)
+  std::vector<BlockId> free_list_;  // LIFO free stack
+  std::vector<std::uint8_t> in_use_;
+};
+
+}  // namespace opal

@@ -50,10 +50,24 @@ const Matrix& KvCache::values(std::size_t layer) const {
 
 void KvCache::clear() { len_ = 0; }
 
+std::size_t KvCache::matrix_bytes(std::size_t d_model, std::size_t len,
+                                  std::size_t bits_per_value,
+                                  std::size_t block_size) {
+  require(block_size >= 1,
+          "KvCache::matrix_bytes: block_size must be >= 1 (1 = dense)");
+  const std::size_t blocks = (len + block_size - 1) / block_size;
+  std::size_t bytes = blocks * block_size * d_model * bits_per_value / 8;
+  if (block_size > 1 && bits_per_value < 32) {
+    bytes += blocks * sizeof(float);  // per-block quantization scale
+  }
+  return bytes;
+}
+
 std::size_t KvCache::storage_bytes(std::size_t n_layers, std::size_t d_model,
                                    std::size_t len,
-                                   std::size_t bits_per_value) {
-  return n_layers * 2 * d_model * len * bits_per_value / 8;
+                                   std::size_t bits_per_value,
+                                   std::size_t block_size) {
+  return n_layers * 2 * matrix_bytes(d_model, len, bits_per_value, block_size);
 }
 
 }  // namespace opal

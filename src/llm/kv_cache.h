@@ -40,12 +40,24 @@ class KvCache {
   [[nodiscard]] std::size_t max_seq_len() const { return max_seq_len_; }
   void clear();
 
-  /// Bytes to store the cache at length `len` with `bits_per_value`-bit
-  /// entries (used for buffer sizing in the accelerator model).
+  /// Bytes to store one layer's K (or V) matrix at length `len` with
+  /// `bits_per_value`-bit entries, allocated block-granularly in blocks of
+  /// `block_size` positions (len rounds up to whole blocks; 1 = dense).
+  /// Sub-32-bit paged layouts (block_size > 1) carry one fp32 scale per
+  /// block, matching KvBlockPool's quantized storage.
+  [[nodiscard]] static std::size_t matrix_bytes(std::size_t d_model,
+                                                std::size_t len,
+                                                std::size_t bits_per_value,
+                                                std::size_t block_size = 1);
+
+  /// Bytes to store the whole cache (K and V, all layers) at length `len`
+  /// under the same layout (used for buffer sizing in the accelerator
+  /// model).
   [[nodiscard]] static std::size_t storage_bytes(std::size_t n_layers,
                                                  std::size_t d_model,
                                                  std::size_t len,
-                                                 std::size_t bits_per_value);
+                                                 std::size_t bits_per_value,
+                                                 std::size_t block_size = 1);
 
  private:
   std::size_t d_model_;

@@ -1,0 +1,109 @@
+#include "llm/paged_kv_cache.h"
+
+#include "common/tensor.h"
+
+namespace opal {
+
+PagedKvCache::PagedKvCache(KvBlockPool& pool, std::size_t n_layers,
+                           std::size_t max_seq_len)
+    : pool_(&pool), max_seq_len_(max_seq_len) {
+  require(n_layers >= 1, "PagedKvCache: n_layers must be >= 1");
+  k_blocks_.resize(n_layers);
+  v_blocks_.resize(n_layers);
+}
+
+PagedKvCache::PagedKvCache(PagedKvCache&& other) noexcept
+    : pool_(other.pool_), max_seq_len_(other.max_seq_len_), len_(other.len_),
+      k_blocks_(std::move(other.k_blocks_)),
+      v_blocks_(std::move(other.v_blocks_)) {
+  const std::size_t n_layers = k_blocks_.size();
+  other.len_ = 0;
+  other.k_blocks_.assign(n_layers, {});
+  other.v_blocks_.assign(n_layers, {});
+}
+
+PagedKvCache::~PagedKvCache() { release_from(0); }
+
+void PagedKvCache::release_from(std::size_t first_block) {
+  for (auto* tables : {&k_blocks_, &v_blocks_}) {
+    for (auto& blocks : *tables) {
+      while (blocks.size() > first_block) {
+        pool_->free(blocks.back());
+        blocks.pop_back();
+      }
+    }
+  }
+}
+
+std::size_t PagedKvCache::blocks_needed_for_next() const {
+  if (len_ >= max_seq_len_) return 0;  // advance() will throw, not allocate
+  const std::size_t column = len_ / pool_->block_size();
+  // Already reserved (or mid-block): the tables cover position len_.
+  if (column < k_blocks_[0].size()) return 0;
+  return 2 * k_blocks_.size();
+}
+
+void PagedKvCache::reserve_next() {
+  require(len_ < max_seq_len_,
+          "PagedKvCache::reserve_next: cache full (length == max_seq_len)");
+  const std::size_t column = len_ / pool_->block_size();
+  if (column < k_blocks_[0].size()) return;  // covered or already reserved
+  const std::size_t need = 2 * k_blocks_.size();
+  if (pool_->free_blocks() < need) {
+    throw KvPoolExhausted(
+        "PagedKvCache: pool cannot supply a new block column");
+  }
+  for (std::size_t l = 0; l < k_blocks_.size(); ++l) {
+    k_blocks_[l].push_back(pool_->allocate());
+    v_blocks_[l].push_back(pool_->allocate());
+  }
+}
+
+void PagedKvCache::advance() {
+  require(len_ < max_seq_len_,
+          "PagedKvCache::advance: cache full (length == max_seq_len)");
+  reserve_next();
+  ++len_;
+}
+
+void PagedKvCache::append(std::size_t layer, std::span<const float> k,
+                          std::span<const float> v) {
+  require(layer < k_blocks_.size(), "PagedKvCache::append: bad layer");
+  require(len_ >= 1, "PagedKvCache::append: call advance() first");
+  const std::size_t pos = len_ - 1;
+  const std::size_t block = pos / pool_->block_size();
+  const std::size_t row = pos % pool_->block_size();
+  pool_->write_row(k_blocks_[layer][block], row, k);
+  pool_->write_row(v_blocks_[layer][block], row, v);
+}
+
+void PagedKvCache::truncate(std::size_t len) {
+  require(len <= len_, "PagedKvCache::truncate: len exceeds current length");
+  const std::size_t bs = pool_->block_size();
+  release_from((len + bs - 1) / bs);
+  len_ = len;
+}
+
+void PagedKvCache::gather(std::size_t layer, std::span<float> k_out,
+                          std::span<float> v_out) const {
+  require(layer < k_blocks_.size(), "PagedKvCache::gather: bad layer");
+  const std::size_t d = pool_->d_model();
+  require(k_out.size() >= len_ * d && v_out.size() >= len_ * d,
+          "PagedKvCache::gather: output spans too small");
+  const std::size_t bs = pool_->block_size();
+  for (std::size_t t = 0; t < len_; ++t) {
+    pool_->read_row(k_blocks_[layer][t / bs], t % bs,
+                    k_out.subspan(t * d, d));
+    pool_->read_row(v_blocks_[layer][t / bs], t % bs,
+                    v_out.subspan(t * d, d));
+  }
+}
+
+std::size_t PagedKvCache::blocks_held() const {
+  std::size_t held = 0;
+  for (const auto& blocks : k_blocks_) held += blocks.size();
+  for (const auto& blocks : v_blocks_) held += blocks.size();
+  return held;
+}
+
+}  // namespace opal

@@ -1,0 +1,96 @@
+// Per-sequence paged KV cache: a position -> block mapping over a shared
+// KvBlockPool.
+//
+// Where the dense KvCache reserves n_layers x 2 x max_seq_len x d_model
+// floats up front, a PagedKvCache holds blocks only for positions actually
+// written: per layer, one list of K blocks and one of V blocks, each block
+// covering `block_size` consecutive positions. advance() acquires the
+// 2*n_layers blocks of a new block column lazily (or finds them already
+// reserved — see reserve_next()), truncate() returns now-unused blocks to
+// the pool, and the destructor returns everything, so cache memory follows
+// the actual working set instead of the worst case.
+//
+// Reads go through gather(), which dequantizes one layer's K and V into
+// caller scratch; in fp32 mode this reproduces the written bits exactly.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "llm/kv_block_pool.h"
+
+namespace opal {
+
+class PagedKvCache {
+ public:
+  /// The cache allocates from (and must not outlive) `pool`.
+  PagedKvCache(KvBlockPool& pool, std::size_t n_layers,
+               std::size_t max_seq_len);
+  ~PagedKvCache();
+
+  PagedKvCache(PagedKvCache&& other) noexcept;
+  PagedKvCache& operator=(PagedKvCache&&) = delete;
+  PagedKvCache(const PagedKvCache&) = delete;
+  PagedKvCache& operator=(const PagedKvCache&) = delete;
+
+  /// Opens a new time step, acquiring a fresh block per layer per K/V when
+  /// the position crosses a block boundary (no-op when reserve_next() was
+  /// called). Throws std::invalid_argument at max_seq_len and
+  /// KvPoolExhausted when the pool cannot supply the blocks (all-or-nothing:
+  /// on throw, no blocks were taken).
+  void advance();
+
+  /// Pre-acquires the blocks the next advance() needs, so a serving layer
+  /// can do all pool mutation in its serial phase and keep the parallel
+  /// decode phase free of shared-state writes. Idempotent; throws
+  /// KvPoolExhausted like advance().
+  void reserve_next();
+
+  /// Blocks the next advance() would need from the pool right now
+  /// (0 mid-block or when already reserved, 2*n_layers at a boundary).
+  [[nodiscard]] std::size_t blocks_needed_for_next() const;
+
+  /// Writes this step's key and value vectors for `layer` at the position
+  /// opened by the last advance() (quantizing per the pool's mode).
+  void append(std::size_t layer, std::span<const float> k,
+              std::span<const float> v);
+
+  /// Rolls back to `len` positions and returns every block past the new
+  /// boundary (including unused reservations) to the pool.
+  void truncate(std::size_t len);
+  void clear() { truncate(0); }
+
+  /// Dequantizes layer `layer`'s cached keys and values into `k_out` /
+  /// `v_out` as row-major [length() x d_model] data (spans must hold at
+  /// least length()*d_model floats; only that prefix is written).
+  void gather(std::size_t layer, std::span<float> k_out,
+              std::span<float> v_out) const;
+
+  [[nodiscard]] std::size_t length() const { return len_; }
+  [[nodiscard]] std::size_t max_seq_len() const { return max_seq_len_; }
+  [[nodiscard]] std::size_t n_layers() const { return k_blocks_.size(); }
+  /// Pool blocks currently held (K and V, all layers, incl. reservations).
+  [[nodiscard]] std::size_t blocks_held() const;
+
+  [[nodiscard]] const KvBlockPool& pool() const { return *pool_; }
+
+  /// Pool blocks needed to hold `len` positions of an `n_layers` model.
+  [[nodiscard]] static std::size_t blocks_for(std::size_t n_layers,
+                                              std::size_t len,
+                                              std::size_t block_size) {
+    return 2 * n_layers * ((len + block_size - 1) / block_size);
+  }
+
+ private:
+  KvBlockPool* pool_;
+  std::size_t max_seq_len_;
+  std::size_t len_ = 0;
+  // [layer] -> block ids covering positions [0, ceil(len/block_size)).
+  std::vector<std::vector<KvBlockPool::BlockId>> k_blocks_;
+  std::vector<std::vector<KvBlockPool::BlockId>> v_blocks_;
+
+  void release_from(std::size_t first_block);
+};
+
+}  // namespace opal

@@ -72,6 +72,27 @@ SequenceState PreparedModel::make_sequence() const {
   return SequenceState(model_->config(), config_.max_seq_len);
 }
 
+SequenceState PreparedModel::make_sequence(KvBlockPool& pool) const {
+  require(pool.block_size() == config_.kv_block_size,
+          "PreparedModel::make_sequence: pool block size mismatch");
+  return SequenceState(model_->config(), config_.max_seq_len, pool);
+}
+
+std::size_t PreparedModel::kv_blocks_per_sequence() const {
+  return PagedKvCache::blocks_for(model_->config().n_layers,
+                                  config_.max_seq_len, config_.kv_block_size);
+}
+
+KvBlockPool PreparedModel::make_kv_pool(double n_full_sequences) const {
+  const auto want = static_cast<std::size_t>(
+      n_full_sequences * static_cast<double>(kv_blocks_per_sequence()));
+  // A pool must at least fit one block column, or no sequence can start.
+  const std::size_t floor_blocks = PagedKvCache::blocks_for(
+      model_->config().n_layers, 1, config_.kv_block_size);
+  return KvBlockPool(std::max(want, floor_blocks), config_.kv_block_size,
+                     model_->config().d_model, config_.kv_mode);
+}
+
 void PreparedModel::prepare_layers_gptq(const HessianSet& hessians) {
   const auto& cfg = model_->config();
   require(hessians.size() == cfg.n_layers,
@@ -188,9 +209,12 @@ void PreparedModel::attend(std::size_t l, SequenceState& seq,
                            std::span<float> z) const {
   const auto& cfg = model_->config();
   const std::size_t d_head = cfg.d_head();
-  const std::size_t len = seq.cache_.length();
-  const Matrix& keys = seq.cache_.keys(l);
-  const Matrix& values = seq.cache_.values(l);
+  const std::size_t d_model = cfg.d_model;
+  const std::size_t len = seq.position();
+  // Dense states expose the cache rows directly; paged states dequantize
+  // this layer's blocks into the gather scratch. Either way the view is
+  // row-major [len x d_model].
+  const SequenceState::KvLayerView kv = seq.layer_view(l);
   const float inv_sqrt_dk = 1.0f / std::sqrt(static_cast<float>(d_head));
 
   std::fill(z.begin(), z.end(), 0.0f);
@@ -200,8 +224,8 @@ void PreparedModel::attend(std::size_t l, SequenceState& seq,
     const std::size_t base = head * d_head;
     const auto q_head = q.subspan(base, d_head);
     for (std::size_t t = 0; t < len; ++t) {
-      scores[t] =
-          dot(q_head, keys.row(t).subspan(base, d_head)) * inv_sqrt_dk;
+      scores[t] = dot(q_head, kv.keys.subspan(t * d_model + base, d_head)) *
+                  inv_sqrt_dk;
     }
     auto z_head = z.subspan(base, d_head);
     if (config_.log2_softmax) {
@@ -209,14 +233,14 @@ void PreparedModel::attend(std::size_t l, SequenceState& seq,
           log2_softmax_unit(scores, Log2SoftmaxConfig{config_.softmax_bits});
       for (std::size_t t = 0; t < len; ++t) {
         const float w = exp2i(-static_cast<int>(codes[t]));
-        const auto v_row = values.row(t).subspan(base, d_head);
+        const auto v_row = kv.values.subspan(t * d_model + base, d_head);
         for (std::size_t c = 0; c < d_head; ++c) z_head[c] += w * v_row[c];
       }
     } else {
       softmax_reference(scores, probs);
       for (std::size_t t = 0; t < len; ++t) {
         const float w = probs[t];
-        const auto v_row = values.row(t).subspan(base, d_head);
+        const auto v_row = kv.values.subspan(t * d_model + base, d_head);
         for (std::size_t c = 0; c < d_head; ++c) z_head[c] += w * v_row[c];
       }
     }
@@ -252,7 +276,7 @@ void PreparedModel::forward_layer(std::size_t l, SequenceState& seq,
   maybe_quantize(ActivationSite::kAttentionInput, q);
   maybe_quantize(ActivationSite::kAttentionInput, k);
   maybe_quantize(ActivationSite::kAttentionInput, v);
-  seq.cache_.append(l, k, v);
+  seq.append_kv(l, k, v);
 
   attend(l, seq, q, z);
   maybe_record(RecordSite::kProjIn, z);
@@ -287,7 +311,7 @@ std::span<const float> PreparedModel::step(SequenceState& seq,
   const auto emb = model_->embedding().row(token);
   std::copy(emb.begin(), emb.end(), seq.x_.begin());
 
-  seq.cache_.advance();  // open this step's KV slot for every layer
+  seq.advance_cache();  // open this step's KV slot for every layer
   std::span<float> x = seq.x_;
   for (std::size_t l = 0; l < cfg.n_layers; ++l) {
     forward_layer(l, seq, x, recorder);

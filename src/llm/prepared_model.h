@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "llm/kv_block_pool.h"
 #include "llm/norm.h"
 #include "llm/synthetic.h"
 #include "owq/calibration.h"
@@ -83,6 +84,13 @@ struct EngineConfig {
   bool log2_softmax = false;
   int softmax_bits = 7;  // attention-map code width for the log2 unit
   std::size_t max_seq_len = 512;
+  /// KV-cache entry storage for the paged serving path (the dense
+  /// batch-of-1 facade always keeps fp32). kFp32 is bitwise identical to
+  /// the dense cache; kInt8/kLog2 trade a small perplexity delta for 4x
+  /// less KV memory (see bench_table1_ppl).
+  KvQuantMode kv_mode = KvQuantMode::kFp32;
+  /// Positions per KV block (block-granular allocation unit).
+  std::size_t kv_block_size = 16;
 
   /// Scheme label in the paper's notation, e.g. "W4A4/7 (MX-OPAL)".
   [[nodiscard]] std::string label() const;
@@ -107,9 +115,22 @@ class PreparedModel {
   std::span<const float> step(SequenceState& seq, std::size_t token,
                               ActivationRecorder* recorder = nullptr) const;
 
-  /// Fresh per-sequence state sized for this model (KV cache at
+  /// Fresh per-sequence state sized for this model (dense KV cache at
   /// config().max_seq_len plus scratch buffers).
   [[nodiscard]] SequenceState make_sequence() const;
+
+  /// Paged variant: the sequence allocates KV blocks from `pool` on demand
+  /// (quantized per the pool's mode) instead of reserving max_seq_len rows.
+  [[nodiscard]] SequenceState make_sequence(KvBlockPool& pool) const;
+
+  /// A pool whose blocks match this model (kv_block_size positions x
+  /// d_model, config().kv_mode), sized to hold `n_full_sequences` sequences
+  /// at full max_seq_len. Serving layers can carve smaller pools by scaling
+  /// the block count down.
+  [[nodiscard]] KvBlockPool make_kv_pool(double n_full_sequences) const;
+
+  /// Pool blocks one sequence at full max_seq_len occupies.
+  [[nodiscard]] std::size_t kv_blocks_per_sequence() const;
 
   [[nodiscard]] const ModelConfig& model_config() const {
     return model_->config();

@@ -2,9 +2,7 @@
 
 namespace opal {
 
-SequenceState::SequenceState(const ModelConfig& config,
-                             std::size_t max_seq_len)
-    : cache_(config.n_layers, config.d_model, max_seq_len) {
+void SequenceState::init_scratch(const ModelConfig& config) {
   x_.resize(config.d_model);
   h_.resize(config.d_model);
   q_.resize(config.d_model);
@@ -15,8 +13,44 @@ SequenceState::SequenceState(const ModelConfig& config,
   logits_.resize(config.vocab);
   attn_out_.resize(config.d_model);
   ffn_out_.resize(config.d_model);
-  scores_.resize(max_seq_len);
-  probs_.resize(max_seq_len);
+  scores_.resize(max_seq_len_);
+  probs_.resize(max_seq_len_);
+}
+
+SequenceState::SequenceState(const ModelConfig& config,
+                             std::size_t max_seq_len)
+    : max_seq_len_(max_seq_len),
+      dense_(std::in_place, config.n_layers, config.d_model, max_seq_len) {
+  init_scratch(config);
+}
+
+SequenceState::SequenceState(const ModelConfig& config,
+                             std::size_t max_seq_len, KvBlockPool& pool)
+    : max_seq_len_(max_seq_len) {
+  require(pool.d_model() == config.d_model,
+          "SequenceState: pool d_model does not match the model");
+  paged_.emplace(pool, config.n_layers, max_seq_len);
+  gather_k_.resize(max_seq_len * config.d_model);
+  gather_v_.resize(max_seq_len * config.d_model);
+  init_scratch(config);
+}
+
+void SequenceState::truncate(std::size_t len) {
+  dense_ ? dense_->truncate(len) : paged_->truncate(len);
+}
+
+SequenceState::KvLayerView SequenceState::layer_view(std::size_t layer) {
+  const std::size_t len = position();
+  if (dense_) {
+    // Rows [0, len) are a contiguous prefix of the row-major cache matrix.
+    const std::size_t d = dense_->keys(layer).cols();
+    return {dense_->keys(layer).flat().first(len * d),
+            dense_->values(layer).flat().first(len * d)};
+  }
+  const std::size_t d = paged_->pool().d_model();
+  paged_->gather(layer, gather_k_, gather_v_);
+  return {std::span<const float>(gather_k_).first(len * d),
+          std::span<const float>(gather_v_).first(len * d)};
 }
 
 }  // namespace opal

@@ -2,33 +2,65 @@
 // one decode step writes through. Cheap to create and reset, so a serving
 // layer can keep one per in-flight request while every sequence shares a
 // single immutable PreparedModel.
+//
+// The KV backend is either the dense KvCache (max_seq_len rows reserved up
+// front; the single-sequence facade's default) or a PagedKvCache drawing
+// fixed-size blocks from a shared KvBlockPool (the serving path, optionally
+// quantized). PreparedModel reads the cache through layer_view(), which in
+// dense mode returns spans straight into the cache rows and in paged mode
+// dequantizes into per-sequence scratch — with an fp32 pool the two paths
+// produce bitwise-identical attention inputs.
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "llm/kv_cache.h"
 #include "llm/model_config.h"
+#include "llm/paged_kv_cache.h"
 
 namespace opal {
 
 class SequenceState {
  public:
+  /// Dense KV backend (one max_seq_len x d_model matrix pair per layer).
   SequenceState(const ModelConfig& config, std::size_t max_seq_len);
 
-  /// Number of tokens decoded into the KV cache so far.
-  [[nodiscard]] std::size_t position() const { return cache_.length(); }
-  [[nodiscard]] std::size_t max_seq_len() const { return cache_.max_seq_len(); }
+  /// Paged KV backend allocating from `pool` (which must outlive the state).
+  SequenceState(const ModelConfig& config, std::size_t max_seq_len,
+                KvBlockPool& pool);
 
-  /// Drops all cached context; the next step decodes at position 0.
-  void reset() { cache_.clear(); }
+  /// Number of tokens decoded into the KV cache so far.
+  [[nodiscard]] std::size_t position() const {
+    return dense_ ? dense_->length() : paged_->length();
+  }
+  [[nodiscard]] std::size_t max_seq_len() const { return max_seq_len_; }
+  [[nodiscard]] bool paged() const { return paged_.has_value(); }
+
+  /// Drops all cached context; the next step decodes at position 0. In
+  /// paged mode every held block returns to the pool.
+  void reset() { truncate(0); }
 
   /// Rolls the cached context back to `len` positions (scheduler eviction /
-  /// partial-recompute preemption). Throws if len exceeds position().
-  void truncate(std::size_t len) { cache_.truncate(len); }
+  /// partial-recompute preemption); paged mode frees the blocks past the
+  /// new boundary. Throws if len exceeds position().
+  void truncate(std::size_t len);
 
-  [[nodiscard]] const KvCache& cache() const { return cache_; }
+  /// Pool blocks currently held (0 in dense mode).
+  [[nodiscard]] std::size_t blocks_held() const {
+    return paged_ ? paged_->blocks_held() : 0;
+  }
+  /// Pool blocks the next decode step would take (0 in dense mode).
+  [[nodiscard]] std::size_t blocks_needed_for_next() const {
+    return paged_ ? paged_->blocks_needed_for_next() : 0;
+  }
+  /// Pre-acquires the next step's blocks (no-op in dense mode); lets a
+  /// serving layer keep pool mutation out of its parallel decode phase.
+  void reserve_next() {
+    if (paged_) paged_->reserve_next();
+  }
 
   /// Logits produced by the most recent PreparedModel::step with this state
   /// (zeros before the first step).
@@ -37,7 +69,27 @@ class SequenceState {
  private:
   friend class PreparedModel;
 
-  KvCache cache_;
+  /// One layer's cached K/V as row-major [position() x d_model] spans. In
+  /// paged mode this dequantizes into the gather scratch, so the view is
+  /// valid until the next layer_view() call on this state.
+  struct KvLayerView {
+    std::span<const float> keys;
+    std::span<const float> values;
+  };
+  [[nodiscard]] KvLayerView layer_view(std::size_t layer);
+
+  void init_scratch(const ModelConfig& config);
+
+  void advance_cache() { dense_ ? dense_->advance() : paged_->advance(); }
+  void append_kv(std::size_t layer, std::span<const float> k,
+                 std::span<const float> v) {
+    dense_ ? dense_->append(layer, k, v) : paged_->append(layer, k, v);
+  }
+
+  std::size_t max_seq_len_;
+  std::optional<KvCache> dense_;
+  std::optional<PagedKvCache> paged_;
+  std::vector<float> gather_k_, gather_v_;  // paged mode: one layer's KV
   // Scratch buffers reused across steps (sized once at construction); the
   // decode hot path performs no heap allocation.
   std::vector<float> x_, h_, q_, k_, v_, z_, hidden_, logits_;

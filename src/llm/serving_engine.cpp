@@ -22,19 +22,44 @@ std::string to_string(RequestStatus status) {
 
 ServingEngine::ServingEngine(std::shared_ptr<const PreparedModel> model,
                              ServingConfig config)
-    : model_(std::move(model)), config_(config) {
+    : model_(std::move(model)), config_(std::move(config)) {
   require(model_ != nullptr, "ServingEngine: null model");
   require(config_.max_batch >= 1, "ServingEngine: max_batch must be >= 1");
   if (config_.n_threads > 0) {
     pool_ = std::make_unique<ThreadPool>(config_.n_threads);
   }
+  const auto& mcfg = model_->model_config();
+  const auto& ecfg = model_->config();
+  if (config_.kv_pool != nullptr) {
+    kv_pool_ = config_.kv_pool;
+    require(kv_pool_->d_model() == mcfg.d_model &&
+                kv_pool_->block_size() == ecfg.kv_block_size &&
+                kv_pool_->mode() == ecfg.kv_mode,
+            "ServingEngine: shared pool does not match the model's KV config");
+  } else {
+    // Private pool: dense-equivalent capacity by default (max_batch full
+    // sequences), or the caller's explicit block budget.
+    std::size_t blocks = config_.kv_pool_blocks != 0
+                             ? config_.kv_pool_blocks
+                             : config_.max_batch *
+                                   model_->kv_blocks_per_sequence();
+    // Below one block column no sequence could ever start.
+    blocks = std::max(
+        blocks, PagedKvCache::blocks_for(mcfg.n_layers, 1,
+                                         ecfg.kv_block_size));
+    kv_pool_ = std::make_shared<KvBlockPool>(blocks, ecfg.kv_block_size,
+                                             mcfg.d_model, ecfg.kv_mode);
+  }
+  require(kv_pool_->n_blocks() >=
+              PagedKvCache::blocks_for(mcfg.n_layers, 1, ecfg.kv_block_size),
+          "ServingEngine: pool smaller than one block column");
 }
 
 ServingEngine::ServingEngine(const PreparedModel& model, ServingConfig config)
     : ServingEngine(
           std::shared_ptr<const PreparedModel>(&model,
                                                [](const PreparedModel*) {}),
-          config) {}
+          std::move(config)) {}
 
 RequestId ServingEngine::submit(Request request) {
   require(!request.prompt.empty(), "ServingEngine::submit: empty prompt");
@@ -56,21 +81,96 @@ RequestId ServingEngine::submit(Request request) {
   return id;
 }
 
+std::size_t ServingEngine::blocks_needed(const Sequence& seq) const {
+  // A sequence preempted with a kept prefix still owns its blocks and may
+  // need none; a fresh (or fully released) sequence needs one block column.
+  if (seq.state != nullptr) return seq.state->blocks_needed_for_next();
+  return PagedKvCache::blocks_for(model_->model_config().n_layers, 1,
+                                  model_->config().kv_block_size);
+}
+
 void ServingEngine::admit_from_queue() {
-  while (batch_.size() < config_.max_batch && !queue_.empty()) {
-    Sequence seq = std::move(queue_.front());
-    queue_.pop_front();
-    if (seq.state == nullptr) {
-      seq.state = std::make_unique<SequenceState>(model_->make_sequence());
+  for (;;) {
+    // Blocks the current batch will take on its next advance: admission
+    // must leave room for them, or the pressure loop would immediately
+    // preempt the sequence we just admitted.
+    std::size_t planned = 0;
+    for (const auto& seq : batch_) planned += blocks_needed(seq);
+    while (batch_.size() < config_.max_batch && !queue_.empty()) {
+      const std::size_t need = blocks_needed(queue_.front());
+      if (planned + need > kv_pool_->free_blocks()) break;  // head-of-line
+      planned += need;
+      Sequence seq = std::move(queue_.front());
+      queue_.pop_front();
+      if (seq.state == nullptr) {
+        seq.state =
+            std::make_unique<SequenceState>(model_->make_sequence(*kv_pool_));
+      }
+      seq.result.status = RequestStatus::kRunning;
+      batch_.push_back(std::move(seq));
     }
-    seq.result.status = RequestStatus::kRunning;
-    batch_.push_back(std::move(seq));
+    if (!batch_.empty() || queue_.empty()) return;
+    // Nothing is running yet the head cannot start: queued sequences
+    // keeping preempted prefixes hold the blocks. Downgrade the youngest
+    // holder to full recompute (head last, so the head itself can always
+    // start against a private pool) and retry.
+    if (!reclaim_queued_prefix()) return;  // blocks are held outside us
+  }
+}
+
+bool ServingEngine::reclaim_queued_prefix() {
+  for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
+    if (it->state != nullptr && it->state->blocks_held() > 0) {
+      it->state.reset();
+      it->fed = 0;
+      ++stat_preemptions_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ServingEngine::ensure_kv_capacity() {
+  for (;;) {
+    std::size_t need = 0;
+    for (const auto& seq : batch_) need += blocks_needed(seq);
+    if (need <= kv_pool_->free_blocks()) return true;  // incl. empty batch
+    if (batch_.size() == 1) {
+      // No running sequence left to preempt: first reclaim kept prefixes
+      // of queued (manually preempted) sequences — they replay anyway.
+      if (reclaim_queued_prefix()) continue;
+      // If another engine on a shared pool holds the missing blocks, the
+      // shortfall is transient — stall this step instead of destroying
+      // the sequence; they free up as the other engine retires work.
+      std::size_t ours = batch_.front().state->blocks_held();
+      for (const auto& seq : queue_) {
+        if (seq.state != nullptr) ours += seq.state->blocks_held();
+      }
+      if (kv_pool_->blocks_in_use() > ours) return false;
+      // The pool itself is too small for this sequence: retire it as
+      // kEvicted (forward-progress guarantee for private pools).
+      finish(std::move(batch_.front()), RequestStatus::kEvicted);
+      batch_.clear();
+      admit_from_queue();
+      continue;
+    }
+    // Recompute preemption of the youngest running sequence: release every
+    // block, requeue at the front so it reclaims its slot (and replays its
+    // token prefix) as soon as memory frees up.
+    Sequence victim = std::move(batch_.back());
+    batch_.pop_back();
+    victim.state.reset();
+    victim.fed = 0;
+    victim.result.status = RequestStatus::kQueued;
+    ++stat_preemptions_;
+    queue_.push_front(std::move(victim));
   }
 }
 
 void ServingEngine::finish(Sequence&& seq, RequestStatus status) {
   seq.result.status = status;
-  seq.state.reset();  // release the KV cache immediately
+  seq.state.reset();  // blocks return to the pool immediately
+  if (status == RequestStatus::kEvicted) ++stat_evictions_;
   done_.emplace(seq.id, std::move(seq.result));
 }
 
@@ -85,14 +185,15 @@ void ServingEngine::preempt(RequestId id, std::size_t keep_positions) {
   Sequence* seq = find_running(id);
   require(seq != nullptr, "ServingEngine::preempt: request is not running");
   if (keep_positions == 0) {
-    // Full preemption releases the dense KV allocation (the point of
-    // preempting under memory pressure); readmission recreates it.
+    // Full preemption releases every KV block (the point of preempting
+    // under memory pressure); readmission recreates the state.
     seq->state.reset();
   } else {
     seq->state->truncate(keep_positions);  // throws if keep > position
   }
   seq->fed = keep_positions;  // replay the rest on readmission
   seq->result.status = RequestStatus::kQueued;
+  ++stat_preemptions_;
   const std::ptrdiff_t index = seq - batch_.data();
   queue_.push_back(std::move(*seq));
   batch_.erase(batch_.begin() + index);
@@ -122,7 +223,17 @@ std::size_t ServingEngine::step() {
     if (!removed) break;
     admit_from_queue();
   }
+
+  // Memory pressure: make sure the pool covers every running sequence's
+  // next position, preempting (then, for a lone sequence, evicting) first.
+  // A false return means a shared pool's blocks are transiently held by
+  // another engine — stall this step rather than decode into exhaustion.
+  if (!ensure_kv_capacity()) return 0;
   if (batch_.empty()) return 0;
+
+  // Serial reservation phase: all pool allocation for this step happens
+  // here, so the parallel decode below never mutates shared pool state.
+  for (auto& seq : batch_) seq.state->reserve_next();
 
   // Parallel phase: decode one token per sequence. Disjoint SequenceStates
   // against a const PreparedModel — safe and bitwise order-independent.
@@ -141,6 +252,7 @@ std::size_t ServingEngine::step() {
   // observer fires, so a throwing observer can never leave a sequence's fed
   // counter out of sync with its already-advanced KV cache.
   const std::size_t decoded = batch_.size();
+  stat_tokens_ += decoded;
   fed_pos_.resize(decoded);
   for (std::size_t i = 0; i < decoded; ++i) {
     Sequence& seq = batch_[i];
@@ -188,6 +300,18 @@ std::size_t ServingEngine::step() {
 void ServingEngine::run() {
   while (step() > 0) {
   }
+}
+
+ServingEngine::Stats ServingEngine::stats() const {
+  Stats s;
+  s.blocks_in_use = kv_pool_->blocks_in_use();
+  s.blocks_free = kv_pool_->free_blocks();
+  s.running = batch_.size();
+  s.queued = queue_.size();
+  s.evictions = stat_evictions_;
+  s.preemptions = stat_preemptions_;
+  s.tokens_decoded = stat_tokens_;
+  return s;
 }
 
 RequestResult ServingEngine::result(RequestId id) const {

@@ -12,6 +12,29 @@
 // fan out across a thread pool; because PreparedModel::step is const and
 // per-sequence state is disjoint, the results are bitwise identical to the
 // serial schedule.
+//
+// KV memory is paged: every sequence allocates fixed-size blocks from a
+// KvBlockPool (engine-owned by default, or shared across engines via
+// ServingConfig::kv_pool), quantized per the model's EngineConfig::kv_mode.
+// The engine is memory-aware end to end:
+//   * admission requires free blocks for the candidate's next step, not
+//     just a free batch slot;
+//   * before each decode, every running sequence's next block column is
+//     reserved serially (the parallel decode phase never touches the pool);
+//   * when the pool cannot cover the batch's next step, the youngest
+//     running sequence is preempted — its blocks return to the pool and it
+//     re-queues at the front for deterministic recompute — before any hard
+//     eviction;
+//   * with nothing left to preempt, kept prefixes of queued (manually
+//     preempted) sequences are reclaimed next — they replay regardless —
+//     and only a lone sequence that a *private* pool still cannot grow is
+//     evicted (kEvicted), which guarantees forward progress for any pool
+//     that holds at least one block column (2 * n_layers blocks). When the
+//     missing blocks are held by another engine on a shared pool, step()
+//     stalls (returns 0) instead of evicting: the shortfall is transient.
+// Because full preemption replays the exact token prefix through fresh
+// blocks, serving under memory pressure returns the same tokens as serving
+// with an unbounded pool (bitwise in fp32 mode; see test_serving.cpp).
 #pragma once
 
 #include <cstddef>
@@ -25,6 +48,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "llm/kv_block_pool.h"
 #include "llm/prepared_model.h"
 #include "llm/sequence_state.h"
 
@@ -43,7 +67,7 @@ enum class RequestStatus : std::uint8_t {
   kQueued,    // waiting for a batch slot
   kRunning,   // occupying a batch slot
   kFinished,  // decoded prompt + max_new_tokens
-  kEvicted,   // stopped early: KV cache hit the model's max_seq_len
+  kEvicted,   // stopped early: KV limit (max_seq_len or an unservable pool)
 };
 
 [[nodiscard]] std::string to_string(RequestStatus status);
@@ -65,6 +89,20 @@ struct ServingConfig {
   /// Worker threads for the per-step decode fan-out; 0 = serial decode on
   /// the calling thread.
   std::size_t n_threads = 0;
+  /// KV block budget when the engine builds its own pool: 0 sizes the pool
+  /// for max_batch sequences at full max_seq_len (no preemption possible —
+  /// the dense-equivalent footprint); a smaller count serves the same batch
+  /// in less memory at the cost of preemptions under pressure.
+  std::size_t kv_pool_blocks = 0;
+  /// Optional pool shared with other engines (block_size/d_model/mode must
+  /// match the model). Null: the engine creates a private pool. Size a
+  /// shared pool to hold at least one full-length sequence per sharing
+  /// engine: below that, engines whose lone sequences all need new block
+  /// columns can hold each other's blocks and stall mutually — step()
+  /// returns 0 with running() > 0 (distinguishable from a drained engine,
+  /// where running() and queued() are both 0), and the caller must
+  /// preempt() or resize to make progress.
+  std::shared_ptr<KvBlockPool> kv_pool;
 };
 
 class ServingEngine {
@@ -75,23 +113,31 @@ class ServingEngine {
   /// Non-owning view: `model` must outlive the engine.
   ServingEngine(const PreparedModel& model, ServingConfig config = {});
 
-  /// Enqueues a request; it starts running once a batch slot frees up.
+  /// Enqueues a request; it starts running once a batch slot and enough
+  /// free KV blocks are available.
   RequestId submit(Request request);
 
   /// Advances every running sequence by one token (admitting queued
-  /// requests into free slots first). Returns the number of sequences
-  /// decoded; 0 means all work has drained.
+  /// requests into free slots first, resolving KV pressure by preemption).
+  /// Returns the number of sequences decoded; 0 means no sequence can make
+  /// progress — all work has drained, or (with a shared pool) every free
+  /// block is held elsewhere.
   std::size_t step();
 
-  /// Steps until the queue and all batch slots are empty.
+  /// Steps until no sequence can make progress (see step()).
   void run();
 
   /// Evicts a running sequence back to the queue. With the default
-  /// `keep_positions == 0` the KV allocation is released entirely (memory
-  /// actually returns to the allocator); a nonzero value keeps the first
-  /// `keep_positions` cached positions for partial recompute. Decoded
-  /// tokens are kept either way and replayed from `keep_positions` on
-  /// readmission, so preemption never changes results.
+  /// `keep_positions == 0` every KV block returns to the pool; a nonzero
+  /// value keeps the blocks covering the first `keep_positions` cached
+  /// positions for partial recompute. Decoded tokens are kept either way
+  /// and replayed from `keep_positions` on readmission. With keep 0 (the
+  /// only form the engine itself uses under memory pressure) replay is
+  /// deterministic in every kv_mode; a kept prefix is additionally exact
+  /// under fp32 KV, while in quantized modes the boundary block keeps the
+  /// grow-only scale its truncated rows produced, so results can differ
+  /// slightly from an uninterrupted run — prefer keep_positions == 0 when
+  /// strict reproducibility matters there.
   void preempt(RequestId id, std::size_t keep_positions = 0);
 
   /// Snapshot of a request's current result (returned by value: step(),
@@ -107,9 +153,27 @@ class ServingEngine {
   /// to result()). Long-running servers should call this after harvesting
   /// results; retention is otherwise unbounded.
   void clear_finished() { done_.clear(); }
+  /// Drops one harvested result; returns false when `id` is not retained
+  /// (still in flight, or already released). Lets a server bound retention
+  /// per request instead of all-or-nothing clear_finished().
+  bool release(RequestId id) { return done_.erase(id) > 0; }
+
   /// Sequences currently occupying batch slots / waiting in the queue.
   [[nodiscard]] std::size_t running() const { return batch_.size(); }
   [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+
+  /// Point-in-time serving counters. Block counts read the underlying pool,
+  /// so with a shared pool they include other engines' usage.
+  struct Stats {
+    std::size_t blocks_in_use = 0;
+    std::size_t blocks_free = 0;
+    std::size_t running = 0;
+    std::size_t queued = 0;
+    std::size_t evictions = 0;       // cumulative kEvicted retirements
+    std::size_t preemptions = 0;     // cumulative (manual + memory pressure)
+    std::size_t tokens_decoded = 0;  // cumulative decode steps executed
+  };
+  [[nodiscard]] Stats stats() const;
 
   /// Observes the logits of every decode, in deterministic slot order
   /// within each step: (request, 0-based position of the fed token, logits).
@@ -127,6 +191,7 @@ class ServingEngine {
   }
 
   [[nodiscard]] const PreparedModel& model() const { return *model_; }
+  [[nodiscard]] const KvBlockPool& kv_pool() const { return *kv_pool_; }
 
  private:
   struct Sequence {
@@ -142,18 +207,30 @@ class ServingEngine {
   };
 
   void admit_from_queue();
+  /// Resolves pool pressure by preemption/reclaim/eviction. False: a
+  /// shared pool's blocks are transiently held by another engine and this
+  /// step must stall (no decode) until they free up.
+  bool ensure_kv_capacity();
+  /// Downgrades the youngest queued sequence still holding a kept KV
+  /// prefix to full recompute, returning its blocks. False if none holds.
+  bool reclaim_queued_prefix();
   void finish(Sequence&& seq, RequestStatus status);
   Sequence* find_running(RequestId id);
+  [[nodiscard]] std::size_t blocks_needed(const Sequence& seq) const;
 
   std::shared_ptr<const PreparedModel> model_;
   ServingConfig config_;
   std::unique_ptr<ThreadPool> pool_;  // null when n_threads == 0
+  std::shared_ptr<KvBlockPool> kv_pool_;
   std::deque<Sequence> queue_;
   std::vector<Sequence> batch_;
   std::vector<std::size_t> fed_pos_;  // per-step scratch, reused
   std::unordered_map<RequestId, RequestResult> done_;
   LogitsObserver observer_;
   RequestId next_id_ = 1;
+  std::size_t stat_evictions_ = 0;
+  std::size_t stat_preemptions_ = 0;
+  std::size_t stat_tokens_ = 0;
 };
 
 }  // namespace opal

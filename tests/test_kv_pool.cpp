@@ -1,0 +1,281 @@
+// KvBlockPool + PagedKvCache: O(1) block churn, truncate returning blocks,
+// exhaustion, quantized round-trips, and fp32 bitwise parity with the dense
+// KvCache.
+#include "llm/kv_block_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "llm/kv_cache.h"
+#include "llm/paged_kv_cache.h"
+
+namespace opal {
+namespace {
+
+std::vector<float> random_row(Rng& rng, std::size_t d, float scale = 1.0f) {
+  std::uniform_real_distribution<float> uni(-scale, scale);
+  std::vector<float> row(d);
+  for (auto& v : row) v = uni(rng);
+  return row;
+}
+
+TEST(KvBlockPool, AllocFreeReuseUnderChurn) {
+  KvBlockPool pool(4, 2, 8);
+  EXPECT_EQ(pool.free_blocks(), 4u);
+  std::vector<KvBlockPool::BlockId> held;
+  for (int i = 0; i < 4; ++i) held.push_back(pool.allocate());
+  EXPECT_EQ(pool.free_blocks(), 0u);
+  EXPECT_EQ(pool.blocks_in_use(), 4u);
+  EXPECT_THROW(static_cast<void>(pool.allocate()), KvPoolExhausted);
+
+  // Churn: free/realloc in varying order many times; the pool always hands
+  // back exactly the freed capacity.
+  for (int round = 0; round < 100; ++round) {
+    pool.free(held[static_cast<std::size_t>(round) % held.size()]);
+    pool.free(held[(round + 2) % held.size()]);
+    EXPECT_EQ(pool.free_blocks(), 2u);
+    held[static_cast<std::size_t>(round) % held.size()] = pool.allocate();
+    held[(round + 2) % held.size()] = pool.allocate();
+    EXPECT_EQ(pool.free_blocks(), 0u);
+  }
+  for (const auto id : held) pool.free(id);
+  EXPECT_EQ(pool.free_blocks(), 4u);
+}
+
+TEST(KvBlockPool, RejectsBadFreeAndStaleAccess) {
+  KvBlockPool pool(2, 2, 4);
+  const auto id = pool.allocate();
+  pool.free(id);
+  EXPECT_THROW(pool.free(id), std::invalid_argument);     // double free
+  EXPECT_THROW(pool.free(99), std::invalid_argument);     // out of range
+  std::vector<float> row(4, 0.0f);
+  EXPECT_THROW(pool.write_row(id, 0, row), std::invalid_argument);  // freed
+}
+
+TEST(KvBlockPool, Fp32RoundTripIsBitwise) {
+  KvBlockPool pool(2, 4, 8, KvQuantMode::kFp32);
+  Rng rng = make_rng(1);
+  const auto id = pool.allocate();
+  std::vector<std::vector<float>> rows;
+  for (std::size_t r = 0; r < 4; ++r) {
+    rows.push_back(random_row(rng, 8));
+    pool.write_row(id, r, rows.back());
+  }
+  std::vector<float> out(8);
+  for (std::size_t r = 0; r < 4; ++r) {
+    pool.read_row(id, r, out);
+    for (std::size_t c = 0; c < 8; ++c) EXPECT_EQ(out[c], rows[r][c]);
+  }
+}
+
+TEST(KvBlockPool, Int8RoundTripBoundedErrorAcrossScaleGrowth) {
+  KvBlockPool pool(1, 4, 8, KvQuantMode::kInt8);
+  const auto id = pool.allocate();
+  Rng rng = make_rng(2);
+  const auto small = random_row(rng, 8, 1.0f);
+  pool.write_row(id, 0, small);
+  EXPECT_NEAR(pool.block_scale(id), 1.0f, 1.0f);  // amax of the row
+
+  // A 4x larger row grows the block scale and rescales row 0 in place.
+  auto big = random_row(rng, 8, 4.0f);
+  big[0] = 4.0f;  // pin the amax
+  pool.write_row(id, 1, big);
+  EXPECT_EQ(pool.block_scale(id), 4.0f);
+
+  std::vector<float> out(8);
+  // Row 1 quantization error is within half a step of the final scale.
+  const float step = 4.0f / 127.0f;
+  pool.read_row(id, 1, out);
+  for (std::size_t c = 0; c < 8; ++c) EXPECT_NEAR(out[c], big[c], 0.5f * step);
+  // Row 0 carries its original error plus one requantization: still within
+  // 1.5 steps of the grown scale.
+  pool.read_row(id, 0, out);
+  for (std::size_t c = 0; c < 8; ++c) {
+    EXPECT_NEAR(out[c], small[c], 1.5f * step);
+  }
+}
+
+TEST(KvBlockPool, Log2PowersOfTwoAreExactAcrossScaleGrowth) {
+  KvBlockPool pool(1, 4, 4, KvQuantMode::kLog2);
+  const auto id = pool.allocate();
+  const std::vector<float> row0 = {1.0f, 0.5f, -0.25f, 0.0f};
+  pool.write_row(id, 0, row0);
+  std::vector<float> out(4);
+  pool.read_row(id, 0, out);
+  for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(out[c], row0[c]);
+
+  // Scale growth to 2^1 shifts every live code by an integer; powers of two
+  // stay exact.
+  const std::vector<float> row1 = {2.0f, -1.0f, 0.0f, 0.125f};
+  pool.write_row(id, 1, row1);
+  pool.read_row(id, 0, out);
+  for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(out[c], row0[c]);
+  pool.read_row(id, 1, out);
+  for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(out[c], row1[c]);
+}
+
+TEST(KvBlockPool, Log2NonPowersStayWithinOneOctave) {
+  KvBlockPool pool(1, 2, 4, KvQuantMode::kLog2);
+  const auto id = pool.allocate();
+  const std::vector<float> row = {0.7f, -0.3f, 1.9f, 0.051f};
+  pool.write_row(id, 0, row);
+  std::vector<float> out(4);
+  pool.read_row(id, 0, out);
+  for (std::size_t c = 0; c < 4; ++c) {
+    ASSERT_NE(out[c], 0.0f);
+    EXPECT_EQ(std::signbit(out[c]), std::signbit(row[c]));
+    // Rounded in the log2 domain: off by at most a factor of sqrt(2).
+    const float ratio = std::fabs(out[c]) / std::fabs(row[c]);
+    EXPECT_GE(ratio, 0.70f);
+    EXPECT_LE(ratio, 1.42f);
+  }
+}
+
+TEST(KvBlockPool, StorageAccounting) {
+  EXPECT_EQ(kv_bits_per_entry(KvQuantMode::kFp32), 32u);
+  EXPECT_EQ(kv_bits_per_entry(KvQuantMode::kInt8), 8u);
+  EXPECT_EQ(kv_bits_per_entry(KvQuantMode::kLog2), 8u);
+  KvBlockPool fp(4, 8, 16, KvQuantMode::kFp32);
+  KvBlockPool q8(4, 8, 16, KvQuantMode::kInt8);
+  EXPECT_EQ(fp.bytes_per_block(), 8u * 16 * 4);
+  EXPECT_EQ(q8.bytes_per_block(), 8u * 16 + sizeof(float));
+  EXPECT_EQ(fp.storage_bytes(), 4u * fp.bytes_per_block());
+  // int8 blocks are 4x smaller up to the per-block scale: the
+  // sequences-per-host multiplier.
+  EXPECT_LE(4 * q8.bytes_per_block(), fp.bytes_per_block() + 4 * 4);
+}
+
+TEST(PagedKvCache, AdvanceAllocatesPerBlockColumn) {
+  KvBlockPool pool(16, 4, 8);
+  PagedKvCache cache(pool, 2, 12);  // 2 layers
+  EXPECT_EQ(cache.blocks_held(), 0u);
+  EXPECT_EQ(cache.blocks_needed_for_next(), 4u);  // K+V per layer
+  cache.advance();
+  EXPECT_EQ(cache.blocks_held(), 4u);
+  for (int t = 1; t < 4; ++t) {
+    EXPECT_EQ(cache.blocks_needed_for_next(), 0u);
+    cache.advance();
+  }
+  EXPECT_EQ(cache.blocks_held(), 4u);  // still within the first column
+  cache.advance();                     // position 4 opens a second column
+  EXPECT_EQ(cache.blocks_held(), 8u);
+  EXPECT_EQ(pool.free_blocks(), 8u);
+}
+
+TEST(PagedKvCache, TruncateReturnsBlocksToPool) {
+  KvBlockPool pool(12, 4, 8);
+  PagedKvCache cache(pool, 1, 12);
+  std::vector<float> row(8, 1.0f);
+  for (int t = 0; t < 9; ++t) {
+    cache.advance();
+    cache.append(0, row, row);
+  }
+  EXPECT_EQ(cache.blocks_held(), 6u);  // 3 columns x (K+V)
+  cache.truncate(4);                   // exactly one column survives
+  EXPECT_EQ(cache.blocks_held(), 2u);
+  EXPECT_EQ(pool.free_blocks(), 10u);
+  cache.truncate(0);
+  EXPECT_EQ(cache.blocks_held(), 0u);
+  EXPECT_EQ(pool.free_blocks(), 12u);
+  // Space reopened: the cache grows again from the pool.
+  cache.advance();
+  EXPECT_EQ(cache.blocks_held(), 2u);
+}
+
+TEST(PagedKvCache, PoolExhaustionThrowsWithoutPartialAllocation) {
+  KvBlockPool pool(2, 2, 4);
+  PagedKvCache cache(pool, 1, 8);
+  std::vector<float> row(4, 1.0f);
+  cache.advance();
+  cache.append(0, row, row);
+  cache.advance();
+  cache.append(0, row, row);
+  EXPECT_EQ(pool.free_blocks(), 0u);
+  // The third position needs a fresh column the pool cannot supply.
+  EXPECT_THROW(cache.advance(), KvPoolExhausted);
+  EXPECT_EQ(cache.length(), 2u);       // length unchanged
+  EXPECT_EQ(cache.blocks_held(), 2u);  // nothing leaked, nothing taken
+}
+
+TEST(PagedKvCache, ReserveNextIsIdempotentAndConsumedByAdvance) {
+  KvBlockPool pool(8, 4, 4);
+  PagedKvCache cache(pool, 1, 8);
+  EXPECT_EQ(cache.blocks_needed_for_next(), 2u);
+  cache.reserve_next();
+  EXPECT_EQ(cache.blocks_held(), 2u);
+  EXPECT_EQ(cache.blocks_needed_for_next(), 0u);  // already covered
+  cache.reserve_next();                           // no-op
+  EXPECT_EQ(cache.blocks_held(), 2u);
+  cache.advance();  // uses the reservation, no new allocation
+  EXPECT_EQ(cache.blocks_held(), 2u);
+}
+
+TEST(PagedKvCache, DestructorAndMoveReturnBlocksExactlyOnce) {
+  KvBlockPool pool(8, 2, 4);
+  {
+    PagedKvCache cache(pool, 1, 8);
+    cache.advance();
+    EXPECT_EQ(pool.free_blocks(), 6u);
+    PagedKvCache moved(std::move(cache));
+    EXPECT_EQ(moved.length(), 1u);
+    EXPECT_EQ(moved.blocks_held(), 2u);
+    EXPECT_EQ(pool.free_blocks(), 6u);  // ownership transferred, not copied
+  }
+  EXPECT_EQ(pool.free_blocks(), 8u);  // freed once by the surviving owner
+}
+
+TEST(PagedKvCache, Fp32GatherMatchesDenseCacheBitwise) {
+  const std::size_t n_layers = 2, d = 8, len = 7;
+  KvBlockPool pool(32, 4, d, KvQuantMode::kFp32);
+  PagedKvCache paged(pool, n_layers, 16);
+  KvCache dense(n_layers, d, 16);
+  Rng rng = make_rng(3);
+  for (std::size_t t = 0; t < len; ++t) {
+    paged.advance();
+    dense.advance();
+    for (std::size_t l = 0; l < n_layers; ++l) {
+      const auto k = random_row(rng, d), v = random_row(rng, d);
+      paged.append(l, k, v);
+      dense.append(l, k, v);
+    }
+  }
+  std::vector<float> gk(len * d), gv(len * d);
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    paged.gather(l, gk, gv);
+    for (std::size_t t = 0; t < len; ++t) {
+      for (std::size_t c = 0; c < d; ++c) {
+        EXPECT_EQ(gk[t * d + c], dense.keys(l)(t, c));
+        EXPECT_EQ(gv[t * d + c], dense.values(l)(t, c));
+      }
+    }
+  }
+}
+
+TEST(PagedKvCache, BlocksForRoundsUpPerColumn) {
+  EXPECT_EQ(PagedKvCache::blocks_for(2, 0, 16), 0u);
+  EXPECT_EQ(PagedKvCache::blocks_for(2, 1, 16), 4u);
+  EXPECT_EQ(PagedKvCache::blocks_for(2, 16, 16), 4u);
+  EXPECT_EQ(PagedKvCache::blocks_for(2, 17, 16), 8u);
+  EXPECT_EQ(PagedKvCache::blocks_for(3, 33, 16), 18u);
+}
+
+TEST(KvCacheAccounting, BlockGranularStorageBytes) {
+  // Dense accounting (block_size 1) is unchanged.
+  EXPECT_EQ(KvCache::storage_bytes(32, 4096, 2048, 16),
+            32u * 2 * 4096 * 2048 * 2);
+  // Block-granular: length rounds up to whole blocks, and sub-32-bit
+  // layouts carry one fp32 scale per block.
+  EXPECT_EQ(KvCache::matrix_bytes(64, 17, 32, 16), 32u * 64 * 4);
+  EXPECT_EQ(KvCache::matrix_bytes(64, 17, 8, 16), 32u * 64 + 2 * 4);
+  EXPECT_EQ(KvCache::storage_bytes(2, 64, 17, 8, 16),
+            2u * 2 * (32 * 64 + 2 * 4));
+  // Quantized paged storage is ~4x below dense fp32.
+  EXPECT_LT(KvCache::storage_bytes(32, 4096, 2048, 8, 16),
+            KvCache::storage_bytes(32, 4096, 2048, 32, 16) / 3);
+}
+
+}  // namespace
+}  // namespace opal

@@ -26,6 +26,15 @@ const SyntheticModel& tiny_model() {
   return model;
 }
 
+ServingConfig scfg(std::size_t max_batch, std::size_t n_threads,
+                   std::size_t kv_pool_blocks = 0) {
+  ServingConfig cfg;
+  cfg.max_batch = max_batch;
+  cfg.n_threads = n_threads;
+  cfg.kv_pool_blocks = kv_pool_blocks;
+  return cfg;
+}
+
 struct Decoded {
   std::vector<std::size_t> tokens;
   // logits[p] = logits observed after feeding tokens[p].
@@ -124,7 +133,7 @@ TEST(ServingEngine, BatchOfNMatchesNSingleRuns_Bf16) {
   EngineConfig cfg;
   cfg.max_seq_len = 32;
   auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
-  run_equivalence(model, ServingConfig{4, 0}, "bf16 batch=4");
+  run_equivalence(model, scfg(4, 0), "bf16 batch=4");
 }
 
 TEST(ServingEngine, BatchSmallerThanRequestsStillMatches) {
@@ -132,7 +141,7 @@ TEST(ServingEngine, BatchSmallerThanRequestsStillMatches) {
   EngineConfig cfg;
   cfg.max_seq_len = 32;
   auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
-  run_equivalence(model, ServingConfig{2, 0}, "bf16 batch=2");
+  run_equivalence(model, scfg(2, 0), "bf16 batch=2");
 }
 
 TEST(ServingEngine, BatchMatchesSingles_OwqWeightsAndLog2Softmax) {
@@ -144,18 +153,18 @@ TEST(ServingEngine, BatchMatchesSingles_OwqWeightsAndLog2Softmax) {
   auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg,
                                                      &calibration);
   ASSERT_GT(model->fp_weight_fraction(), 0.0);  // OWQ actually active
-  run_equivalence(model, ServingConfig{4, 0}, "owq+log2 batch=4");
+  run_equivalence(model, scfg(4, 0), "owq+log2 batch=4");
   // Same config through the thread pool: this is what actually exercises
   // the shared-quantizer thread-safety contract documented in quantizer.h
   // (the BF16 threaded test runs with null quantizers).
-  run_equivalence(model, ServingConfig{4, 3}, "owq+log2 batch=4 threads=3");
+  run_equivalence(model, scfg(4, 3), "owq+log2 batch=4 threads=3");
 }
 
 TEST(ServingEngine, ThreadPoolDecodeIsBitwiseDeterministic) {
   EngineConfig cfg;
   cfg.max_seq_len = 32;
   auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
-  run_equivalence(model, ServingConfig{4, 3}, "bf16 batch=4 threads=3");
+  run_equivalence(model, scfg(4, 3), "bf16 batch=4 threads=3");
 }
 
 TEST(ServingEngine, PreemptTruncateReplayMatchesUninterrupted) {
@@ -166,7 +175,7 @@ TEST(ServingEngine, PreemptTruncateReplayMatchesUninterrupted) {
   const std::size_t max_new = 6;
   const auto ref = reference_decode(model, prompt, max_new);
 
-  ServingEngine engine(model, ServingConfig{2, 0});
+  ServingEngine engine(model, scfg(2, 0));
   Captured captured;
   const RequestId id = engine.submit(Request{prompt, max_new});
   engine.set_logits_observer([&](RequestId rid, std::size_t pos,
@@ -199,7 +208,7 @@ TEST(ServingEngine, DefaultPreemptReleasesKvAndReplaysFromScratch) {
   const std::vector<std::size_t> prompt = {9, 2, 6};
   const auto ref = reference_decode(model, prompt, 5);
 
-  ServingEngine engine(model, ServingConfig{2, 0});
+  ServingEngine engine(model, scfg(2, 0));
   const RequestId id = engine.submit(Request{prompt, 5});
   for (int i = 0; i < 3; ++i) engine.step();
   engine.preempt(id);  // keep_positions = 0: KV allocation dropped
@@ -214,7 +223,7 @@ TEST(ServingEngine, EvictsWhenKvCacheExhausted) {
   EngineConfig cfg;
   cfg.max_seq_len = 6;
   auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
-  ServingEngine engine(model, ServingConfig{2, 0});
+  ServingEngine engine(model, scfg(2, 0));
   const RequestId longer = engine.submit(Request{{1, 2, 3}, 10});  // wants 13
   const RequestId fits = engine.submit(Request{{5, 6}, 2});
   engine.run();
@@ -232,7 +241,7 @@ TEST(ServingEngine, ThrowingObserverLeavesEngineConsistent) {
   const std::size_t max_new = 5;
   const auto ref = reference_decode(model, prompt, max_new);
 
-  ServingEngine engine(model, ServingConfig{2, 0});
+  ServingEngine engine(model, scfg(2, 0));
   const RequestId id = engine.submit(Request{prompt, max_new});
   int calls = 0;
   engine.set_logits_observer(
@@ -257,7 +266,7 @@ TEST(ServingEngine, ObserverThrowOnFinishingStepDoesNotStrandSequence) {
   EngineConfig cfg;
   cfg.max_seq_len = 16;
   auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
-  ServingEngine engine(model, ServingConfig{2, 0});
+  ServingEngine engine(model, scfg(2, 0));
   const RequestId id = engine.submit(Request{{3, 1}, 0});
   int calls = 0;
   engine.set_logits_observer(
@@ -279,7 +288,7 @@ TEST(ServingEngine, CompletesAtExactKvCapacityBoundary) {
   EngineConfig cfg;
   cfg.max_seq_len = 6;
   auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
-  ServingEngine engine(model, ServingConfig{1, 0});
+  ServingEngine engine(model, scfg(1, 0));
   const RequestId id = engine.submit(Request{{1, 2, 3}, 4});  // target 7
   engine.run();
   const auto result = engine.result(id);
@@ -292,7 +301,7 @@ TEST(ServingEngine, SequencesAtDifferentPositionsCoexist) {
   EngineConfig cfg;
   cfg.max_seq_len = 32;
   auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
-  ServingEngine engine(model, ServingConfig{2, 0});
+  ServingEngine engine(model, scfg(2, 0));
   engine.submit(Request{{1, 2, 3, 4, 5, 6}, 2});
   engine.submit(Request{{7}, 3});
   // After two steps: seq A is mid-prompt (position 2), seq B has finished
@@ -308,7 +317,7 @@ TEST(ServingEngine, SequencesAtDifferentPositionsCoexist) {
 TEST(ServingEngine, RejectsEmptyPromptAndUnknownId) {
   EngineConfig cfg;
   auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
-  ServingEngine engine(model, ServingConfig{2, 0});
+  ServingEngine engine(model, scfg(2, 0));
   EXPECT_THROW(engine.submit(Request{{}, 4}), std::invalid_argument);
   EXPECT_THROW(static_cast<void>(engine.result(123)), std::invalid_argument);
   EXPECT_THROW(engine.preempt(123), std::invalid_argument);
@@ -325,7 +334,7 @@ TEST(ServingEngine, ClearFinishedDropsRetainedResults) {
   EngineConfig cfg;
   cfg.max_seq_len = 16;
   auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
-  ServingEngine engine(model, ServingConfig{2, 0});
+  ServingEngine engine(model, scfg(2, 0));
   const RequestId id = engine.submit(Request{{3, 4}, 2});
   engine.run();
   EXPECT_TRUE(engine.finished(id));
@@ -344,7 +353,7 @@ TEST(ServingEngine, SharedPreparedModelAcrossFacadesAndServing) {
   cfg.max_seq_len = 32;
   auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
   InferenceEngine facade(model);
-  ServingEngine serving(model, ServingConfig{2, 0});
+  ServingEngine serving(model, scfg(2, 0));
   EXPECT_EQ(facade.weight_storage_bits(), model->weight_storage_bits());
   const RequestId id = serving.submit(Request{{3}, 2});
   serving.run();
@@ -388,6 +397,302 @@ TEST(Perplexity, BatchedEvaluationRejectsOverlongStream) {
   streams[0].pop_back();
   const auto ppl = evaluate_perplexity_batched(model, streams);
   EXPECT_TRUE(std::isfinite(ppl[0]));
+}
+
+// --- Paged KV / memory-aware serving ---
+
+TEST(ServingEngine, QuarterFootprintPoolServesFullBatchIdentically) {
+  // Acceptance: the pool holds 1/4 of the dense-cache footprint of
+  // max_batch sequences — dense allocation could keep exactly ONE
+  // max_seq_len cache in that memory — yet the paged engine runs all 4
+  // slots concurrently and every result is bitwise identical to the dense
+  // fp32 baseline.
+  EngineConfig cfg;
+  cfg.max_seq_len = 32;
+  cfg.kv_block_size = 8;
+  auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+
+  const std::size_t dense_blocks = 4 * model->kv_blocks_per_sequence();
+  ServingConfig serving = scfg(4, 0, dense_blocks / 4);
+  ASSERT_EQ(dense_blocks / 4, 16u);  // 2 layers * 2 (K,V) * 4 columns
+  ServingEngine engine(model, serving);
+  EXPECT_EQ(engine.kv_pool().n_blocks(), dense_blocks / 4);
+
+  // Every request stays within one block column (<= 8 fed positions), so
+  // four of them fit the squeezed pool simultaneously.
+  const std::vector<Request> requests = {
+      Request{{3, 1, 4}, 5}, Request{{2, 7}, 6},  Request{{9, 2, 6, 5}, 4},
+      Request{{1}, 8},       Request{{4, 4}, 7},  Request{{8, 3, 5}, 6},
+  };
+  std::vector<RequestId> ids;
+  for (const auto& req : requests) ids.push_back(engine.submit(req));
+
+  std::size_t max_running = 0;
+  while (engine.step() > 0) {
+    max_running = std::max(max_running, engine.running());
+  }
+  // Strictly more concurrency than the one dense cache this memory holds.
+  EXPECT_EQ(max_running, 4u);
+
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const auto ref = reference_decode(model, requests[r].prompt,
+                                      requests[r].max_new_tokens);
+    const auto result = engine.result(ids[r]);
+    EXPECT_EQ(result.status, RequestStatus::kFinished) << "request " << r;
+    EXPECT_EQ(result.tokens, ref.tokens) << "request " << r;
+  }
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.blocks_in_use, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(ServingEngine, PoolExhaustionPreemptsThenReadmitsIdentically) {
+  // A pool far below the batch's working set: sequences crossing block
+  // boundaries trigger recompute preemption mid-flight, and the replayed
+  // positions must reproduce the original logits bitwise (fp32 KV).
+  EngineConfig cfg;
+  cfg.max_seq_len = 32;
+  cfg.kv_block_size = 4;
+  auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+  const auto requests = interleaved_requests();
+
+  ServingEngine engine(model, scfg(4, 0, 20));
+  std::map<RequestId, Captured> captured;
+  engine.set_logits_observer([&](RequestId id, std::size_t pos,
+                                 std::span<const float> logits) {
+    std::vector<float> now(logits.begin(), logits.end());
+    auto& slot = captured[id].logits_at[pos];
+    if (!slot.empty()) {
+      ASSERT_EQ(slot, now) << "replay diverged at position " << pos;
+    }
+    slot = std::move(now);
+  });
+  std::vector<RequestId> ids;
+  for (const auto& req : requests) ids.push_back(engine.submit(req));
+  engine.run();
+
+  EXPECT_GT(engine.stats().preemptions, 0u);  // pressure actually happened
+  EXPECT_EQ(engine.stats().evictions, 0u);    // ...but nothing was dropped
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const auto ref = reference_decode(model, requests[r].prompt,
+                                      requests[r].max_new_tokens);
+    const auto result = engine.result(ids[r]);
+    EXPECT_EQ(result.status, RequestStatus::kFinished) << "request " << r;
+    expect_bitwise_equal(ref, result.tokens, captured[ids[r]],
+                         "exhaustion/readmit request " + std::to_string(r));
+  }
+}
+
+TEST(ServingEngine, LoneSequenceThePoolCannotGrowIsEvicted) {
+  // One block column only: a request needing more positions than one
+  // column covers cannot grow and there is nobody to preempt, so it
+  // retires as kEvicted (forward progress instead of livelock).
+  EngineConfig cfg;
+  cfg.max_seq_len = 32;
+  cfg.kv_block_size = 4;
+  auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+  ServingEngine engine(model, scfg(2, 0, 4));  // 2 layers * 2 = one column
+  const RequestId id = engine.submit(Request{{1, 2, 3}, 10});
+  engine.run();
+  const auto result = engine.result(id);
+  EXPECT_EQ(result.status, RequestStatus::kEvicted);
+  EXPECT_EQ(result.tokens.size(), 5u);  // 4 fed positions + 1 generated
+  EXPECT_EQ(engine.stats().evictions, 1u);
+  EXPECT_EQ(engine.stats().blocks_in_use, 0u);
+}
+
+TEST(ServingEngine, QueuedKeptPrefixIsReclaimedBeforeLoneEviction) {
+  // A manually preempted sequence parked in the queue with a kept prefix
+  // still owns its blocks. When the lone running sequence needs a new
+  // column and the pool is dry, that prefix must be downgraded to full
+  // recompute (blocks reclaimed) instead of evicting the runner.
+  EngineConfig cfg;
+  cfg.max_seq_len = 32;
+  cfg.kv_block_size = 4;
+  auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+  // 3 block columns total (2 layers * 2 * 3 = 12 blocks); A alone needs
+  // all three for its 12 fed positions.
+  ServingEngine engine(model, scfg(2, 0, 12));
+  const std::vector<std::size_t> prompt_a = {3, 1, 4};
+  const auto ref_a = reference_decode(model, prompt_a, 10);
+  const RequestId a = engine.submit(Request{prompt_a, 10});
+  const RequestId b = engine.submit(Request{{2, 7}, 6});
+  const RequestId c = engine.submit(Request{{5}, 2});
+  for (int i = 0; i < 2; ++i) engine.step();
+  // B parks in the queue holding one column; C takes its slot, so B stays
+  // queued (both slots busy) while A grows toward the whole pool.
+  engine.preempt(b, 2);
+  engine.run();
+  EXPECT_EQ(engine.result(a).status, RequestStatus::kFinished);
+  EXPECT_EQ(engine.result(a).tokens, ref_a.tokens);
+  EXPECT_EQ(engine.result(b).status, RequestStatus::kFinished);
+  EXPECT_EQ(engine.result(c).status, RequestStatus::kFinished);
+  EXPECT_EQ(engine.stats().evictions, 0u);
+  // Manual preempt of B, pressure preempt of C, and B's prefix reclaim.
+  EXPECT_GE(engine.stats().preemptions, 3u);
+  EXPECT_EQ(engine.stats().blocks_in_use, 0u);
+}
+
+TEST(ServingEngine, StatsTrackBlocksAndCounters) {
+  EngineConfig cfg;
+  cfg.max_seq_len = 16;
+  cfg.kv_block_size = 4;
+  auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+  ServingEngine engine(model, scfg(2, 0));
+  EXPECT_EQ(engine.stats().blocks_in_use, 0u);
+  EXPECT_EQ(engine.stats().blocks_free, engine.kv_pool().n_blocks());
+
+  engine.submit(Request{{3, 1, 4}, 2});
+  engine.submit(Request{{2}, 3});
+  engine.step();
+  const auto mid = engine.stats();
+  EXPECT_EQ(mid.running, 2u);
+  EXPECT_GT(mid.blocks_in_use, 0u);
+  EXPECT_EQ(mid.tokens_decoded, 2u);
+
+  engine.run();
+  const auto end = engine.stats();
+  EXPECT_EQ(end.running, 0u);
+  EXPECT_EQ(end.queued, 0u);
+  EXPECT_EQ(end.blocks_in_use, 0u);
+  EXPECT_EQ(end.blocks_free, engine.kv_pool().n_blocks());
+  // 4 fed + 1 last-generated-not-fed, and 3 fed + 1, per feeding rule.
+  EXPECT_EQ(end.tokens_decoded, 7u);
+  EXPECT_EQ(end.preemptions, 0u);
+  EXPECT_EQ(end.evictions, 0u);
+}
+
+TEST(ServingEngine, ReleaseDropsOneHarvestedResult) {
+  EngineConfig cfg;
+  cfg.max_seq_len = 16;
+  auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+  ServingEngine engine(model, scfg(2, 0));
+  const RequestId a = engine.submit(Request{{3, 4}, 2});
+  const RequestId b = engine.submit(Request{{5}, 2});
+  EXPECT_FALSE(engine.release(a));  // still in flight: nothing retained yet
+  engine.run();
+  EXPECT_TRUE(engine.release(a));
+  EXPECT_FALSE(engine.release(a));  // already dropped
+  EXPECT_THROW(static_cast<void>(engine.result(a)), std::invalid_argument);
+  EXPECT_EQ(engine.result(b).status, RequestStatus::kFinished);  // untouched
+}
+
+TEST(ServingEngine, QuantizedKvModesAreDeterministic) {
+  for (const KvQuantMode mode : {KvQuantMode::kInt8, KvQuantMode::kLog2}) {
+    EngineConfig cfg;
+    cfg.max_seq_len = 32;
+    cfg.kv_block_size = 4;
+    cfg.kv_mode = mode;
+    auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+    std::vector<std::vector<std::size_t>> tokens_per_run;
+    for (int run = 0; run < 2; ++run) {
+      ServingEngine engine(model, scfg(2, 0));
+      const RequestId a = engine.submit(Request{{3, 1, 4, 1, 5}, 6});
+      const RequestId b = engine.submit(Request{{2, 7}, 8});
+      engine.run();
+      EXPECT_EQ(engine.result(a).status, RequestStatus::kFinished);
+      EXPECT_EQ(engine.result(b).status, RequestStatus::kFinished);
+      EXPECT_EQ(engine.result(a).generated(), 6u);
+      EXPECT_EQ(engine.result(b).generated(), 8u);
+      tokens_per_run.push_back(engine.result(a).tokens);
+    }
+    EXPECT_EQ(tokens_per_run[0], tokens_per_run[1])
+        << "kv mode " << to_string(mode);
+  }
+}
+
+TEST(ServingEngine, SharedPoolAcrossTwoEngines) {
+  EngineConfig cfg;
+  cfg.max_seq_len = 16;
+  cfg.kv_block_size = 4;
+  auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+  auto pool = std::make_shared<KvBlockPool>(model->make_kv_pool(2.0));
+
+  ServingConfig shared_cfg = scfg(2, 0);
+  shared_cfg.kv_pool = pool;
+  ServingEngine a(model, shared_cfg);
+  ServingEngine b(model, shared_cfg);
+  const RequestId ra = a.submit(Request{{3, 1}, 4});
+  const RequestId rb = b.submit(Request{{9, 2, 6}, 3});
+  // Interleave: both engines draw blocks from the same pool.
+  while (a.step() + b.step() > 0) {
+  }
+  EXPECT_EQ(a.result(ra).status, RequestStatus::kFinished);
+  EXPECT_EQ(b.result(rb).status, RequestStatus::kFinished);
+  EXPECT_EQ(pool->blocks_in_use(), 0u);
+  // Each engine's stats read the shared pool.
+  EXPECT_EQ(a.stats().blocks_free, pool->n_blocks());
+  EXPECT_EQ(b.stats().blocks_free, pool->n_blocks());
+}
+
+TEST(ServingEngine, SharedPoolTransientPressureStallsInsteadOfEvicting) {
+  // Engine B holds the shared pool's remaining column when engine A's lone
+  // sequence hits a block boundary. That shortfall is transient — A must
+  // stall (step() == 0, sequence intact) rather than hard-evict, and then
+  // finish identically once B drains.
+  EngineConfig cfg;
+  cfg.max_seq_len = 16;
+  cfg.kv_block_size = 4;
+  auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+  // Two block columns total: one for A's first 4 positions, one for B.
+  auto pool = std::make_shared<KvBlockPool>(8, 4, tiny_config().d_model);
+  ServingConfig shared_cfg = scfg(1, 0);
+  shared_cfg.kv_pool = pool;
+  ServingEngine a(model, shared_cfg);
+  ServingEngine b(model, shared_cfg);
+
+  const std::vector<std::size_t> prompt_a = {3, 1, 4};
+  const auto ref_a = reference_decode(model, prompt_a, 4);  // 6 fed positions
+  const RequestId ra = a.submit(Request{prompt_a, 4});
+  const RequestId rb = b.submit(Request{{2, 7}, 1});
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(a.step(), 1u);  // A fills column 1
+  EXPECT_EQ(b.step(), 1u);                              // B takes column 2
+  EXPECT_EQ(pool->free_blocks(), 0u);
+
+  EXPECT_EQ(a.step(), 0u);  // stalled, not evicted
+  EXPECT_EQ(a.result(ra).status, RequestStatus::kRunning);
+  EXPECT_EQ(a.stats().evictions, 0u);
+
+  b.run();  // B finishes and returns its column
+  EXPECT_EQ(b.result(rb).status, RequestStatus::kFinished);
+  a.run();  // A resumes exactly where it stalled
+  EXPECT_EQ(a.result(ra).status, RequestStatus::kFinished);
+  EXPECT_EQ(a.result(ra).tokens, ref_a.tokens);
+  EXPECT_EQ(a.stats().evictions, 0u);
+  EXPECT_EQ(pool->blocks_in_use(), 0u);
+}
+
+TEST(Perplexity, QuantizedKvStaysCloseToFp32) {
+  std::vector<std::vector<std::size_t>> streams;
+  {
+    EngineConfig gen_cfg;
+    gen_cfg.max_seq_len = 48;
+    auto teacher = std::make_shared<const PreparedModel>(tiny_model(),
+                                                         gen_cfg);
+    InferenceEngine generator(teacher);
+    for (std::uint64_t s = 0; s < 2; ++s) {
+      streams.push_back(generate_stream(generator, 32, 200 + s));
+    }
+  }
+  double ppl_by_mode[3] = {};
+  const KvQuantMode modes[3] = {KvQuantMode::kFp32, KvQuantMode::kInt8,
+                                KvQuantMode::kLog2};
+  for (int m = 0; m < 3; ++m) {
+    EngineConfig cfg;
+    cfg.max_seq_len = 48;
+    cfg.kv_block_size = 8;
+    cfg.kv_mode = modes[m];
+    const PreparedModel model(tiny_model(), cfg);
+    const auto ppl = evaluate_perplexity_batched(model, streams);
+    double log_sum = 0.0;
+    for (const double p : ppl) log_sum += std::log(p);
+    ppl_by_mode[m] = std::exp(log_sum / 2.0);
+    EXPECT_TRUE(std::isfinite(ppl_by_mode[m]));
+  }
+  // int8 KV barely moves perplexity; log2-7bit costs more but must stay in
+  // the same regime (not a blow-up) — the paper's narrow-bit thesis.
+  EXPECT_LT(std::fabs(std::log(ppl_by_mode[1] / ppl_by_mode[0])), 0.1);
+  EXPECT_LT(std::fabs(std::log(ppl_by_mode[2] / ppl_by_mode[0])), 0.7);
 }
 
 }  // namespace
