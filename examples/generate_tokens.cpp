@@ -1,12 +1,17 @@
-// End-to-end generation demo: builds a scaled-down Llama2-style model,
-// runs BF16 and MX-OPAL W4A4/7 engines side by side on the same prompt,
-// and reports the perplexity gap plus what the OPAL accelerator would
-// spend per token on the full-scale model.
+// End-to-end generation demo on the batched paged serving path: builds a
+// scaled-down Llama2-style model, generates greedy continuations for a
+// batch of prompts through a ServingEngine (shared PreparedModel, paged KV
+// blocks, prefix cache reusing the prompts' common system prefix), scores
+// the BF16 teacher against MX-OPAL W4A4/7 on those streams with the
+// continuously-batched perplexity evaluator, and reports what the OPAL
+// accelerator would spend per token on the full-scale model.
 #include <cstdio>
+#include <vector>
 
 #include "accel/device.h"
 #include "eval/perplexity.h"
 #include "eval/schemes.h"
+#include "llm/serving_engine.h"
 
 int main() {
   using namespace opal;
@@ -16,30 +21,74 @@ int main() {
   calibrate_logit_scale(model, 24, 8);
   const auto calibration = calibrate_model(model, 48, 9);
 
-  // Teacher (BF16) generates a stream; both engines are scored on it.
+  // The BF16 teacher is prepared once and shared by every sequence; all
+  // generation runs through the batched, paged ServingEngine.
   EngineConfig teacher_cfg;
-  teacher_cfg.max_seq_len = 130;
-  InferenceEngine teacher(model, teacher_cfg);
-  const auto tokens = generate_stream(teacher, 128, 10);
+  teacher_cfg.max_seq_len = 64;
+  teacher_cfg.kv_block_size = 8;
+  auto teacher = std::make_shared<const PreparedModel>(model, teacher_cfg);
 
-  std::printf("generated %zu tokens with the BF16 teacher; first ten:",
-              tokens.size());
-  for (std::size_t t = 0; t < 10; ++t) std::printf(" %zu", tokens[t]);
+  ServingConfig serving_cfg;
+  serving_cfg.max_batch = 4;
+  serving_cfg.enable_prefix_cache = true;
+  ServingEngine engine(teacher, serving_cfg);
+
+  // Four prompts sharing a 16-token system prefix (two KV block columns):
+  // a pilot request populates the prefix cache, the rest reuse its blocks.
+  std::vector<std::size_t> prefix;
+  for (std::size_t i = 0; i < 16; ++i) prefix.push_back((i * 5 + 2) % 64);
+  const std::size_t tails[4][2] = {{1, 2}, {3, 4}, {5, 6}, {7, 8}};
+  std::vector<Request> requests;
+  for (const auto& tail : tails) {
+    Request req;
+    req.prompt = prefix;
+    req.prompt.insert(req.prompt.end(), std::begin(tail), std::end(tail));
+    req.max_new_tokens = 24;
+    requests.push_back(std::move(req));
+  }
+
+  std::vector<RequestId> ids;
+  ids.push_back(engine.submit(requests[0]));
+  engine.run();  // pilot finishes and indexes the shared prefix
+  for (std::size_t r = 1; r < requests.size(); ++r) {
+    ids.push_back(engine.submit(requests[r]));
+  }
+  engine.run();
+
+  std::vector<std::vector<std::size_t>> streams;
+  for (const auto id : ids) streams.push_back(engine.result(id).tokens);
+  const auto stats = engine.stats();
+  std::printf("generated %zu streams of %zu tokens on the batched paged "
+              "path; prefix cache served %zu of %zu admissions (%zu "
+              "prefill decodes skipped)\n",
+              streams.size(), streams[0].size(), stats.prefix_hits,
+              stats.prefix_hits + stats.prefix_misses,
+              stats.prefix_hit_tokens);
+  std::printf("first ten of stream 0:");
+  for (std::size_t t = 0; t < 10; ++t) std::printf(" %zu", streams[0][t]);
   std::printf("\n\n");
 
+  // Score teacher vs MX-OPAL on the generated streams, both through the
+  // continuously-batched evaluator (one ServingEngine pass per scheme).
   auto opal_cfg = scheme_mx_opal(4, 4, 7);
-  opal_cfg.max_seq_len = 130;
-  InferenceEngine opal_engine(model, opal_cfg, &calibration);
+  opal_cfg.max_seq_len = 64;
+  const PreparedModel opal_prepared(model, opal_cfg, &calibration);
 
-  const double ppl_teacher = evaluate_perplexity(teacher, tokens);
-  const double ppl_opal = evaluate_perplexity(opal_engine, tokens);
-  std::printf("perplexity: BF16 %.3f vs %s %.3f (delta %+.3f)\n",
-              ppl_teacher, opal_cfg.label().c_str(), ppl_opal,
-              ppl_opal - ppl_teacher);
+  const auto ppl_teacher = evaluate_perplexity_batched(*teacher, streams);
+  const auto ppl_opal = evaluate_perplexity_batched(opal_prepared, streams);
+  double mean_teacher = 0.0, mean_opal = 0.0;
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    mean_teacher += ppl_teacher[s] / static_cast<double>(streams.size());
+    mean_opal += ppl_opal[s] / static_cast<double>(streams.size());
+  }
+  std::printf("perplexity (mean over %zu streams): BF16 %.3f vs %s %.3f "
+              "(delta %+.3f)\n",
+              streams.size(), mean_teacher, opal_cfg.label().c_str(),
+              mean_opal, mean_opal - mean_teacher);
   std::printf("weight storage: %.2f MB -> %.2f MB (%.1f%% bf16 columns)\n",
-              static_cast<double>(teacher.weight_storage_bits()) / 8e6,
-              static_cast<double>(opal_engine.weight_storage_bits()) / 8e6,
-              100.0 * opal_engine.fp_weight_fraction());
+              static_cast<double>(teacher->weight_storage_bits()) / 8e6,
+              static_cast<double>(opal_prepared.weight_storage_bits()) / 8e6,
+              100.0 * opal_prepared.fp_weight_fraction());
 
   // What would this cost on silicon at full scale?
   std::printf("\nfull-scale Llama2-7B per-token on the modeled devices:\n");

@@ -1,14 +1,17 @@
-// Batched serving demo on the paged KV cache: one shared PreparedModel
-// (quantized once), a ServingEngine whose block pool is deliberately sized
-// to ~1/4 of the dense-cache footprint, and more requests than batch slots.
-// Because sequences only hold blocks for positions actually written, the
-// squeezed pool still runs a full 4-slot batch that dense per-sequence
-// caches could not fit (4 dense caches need 4x the full-length footprint);
-// under pressure the engine preempts the youngest sequence instead of
-// failing. Every result is checked against a dense fp32 single-sequence
-// decode — paged fp32 serving is bitwise identical.
+// Batched serving demo on the paged KV cache with prefix caching: one
+// shared PreparedModel (quantized once), a ServingEngine whose block pool
+// is deliberately sized to ~1/4 of the dense-cache footprint, and more
+// requests than batch slots — all sharing a 16-token system prefix. The
+// same request set is served twice through one engine: round 1 runs cold
+// and populates the radix prefix index as sequences retire; round 2 finds
+// its prompts' block-aligned prefixes already cached and skips that
+// prefill entirely. Under pool pressure the engine reclaims unreferenced
+// cache entries first, then preempts the youngest sequence; every result
+// in both rounds is checked bitwise against a dense fp32 single-sequence
+// decode.
 //
-//   quantize once -> 6 requests -> 4 slots, 1/4 memory -> drain -> verify
+//   quantize once -> 6 shared-prefix requests -> 4 slots, 1/4 memory
+//   -> round 1 (cold) -> round 2 (warm prefix cache) -> verify both
 #include <chrono>
 #include <cstdio>
 #include <vector>
@@ -21,10 +24,67 @@ namespace {
 
 void print_stats(const char* when, const opal::ServingEngine& engine) {
   const auto s = engine.stats();
-  std::printf("  [%s] blocks %zu used / %zu free, %zu running, %zu queued, "
-              "%zu preemptions, %zu evictions, %zu tokens decoded\n",
-              when, s.blocks_in_use, s.blocks_free, s.running, s.queued,
-              s.preemptions, s.evictions, s.tokens_decoded);
+  std::printf("  [%s] blocks %zu used / %zu free (peak %zu, reclaimable "
+              "%zu), %zu running, %zu queued, %zu preemptions, %zu "
+              "evictions, %zu tokens decoded\n",
+              when, s.blocks_in_use, s.blocks_free, s.blocks_peak,
+              s.blocks_reclaimable, s.running, s.queued, s.preemptions,
+              s.evictions, s.tokens_decoded);
+  std::printf("  [%s] prefix cache: %zu hits / %zu misses, %zu prefill "
+              "decodes skipped, %zu blocks cached, %zu reclaimed\n",
+              when, s.prefix_hits, s.prefix_misses, s.prefix_hit_tokens,
+              s.prefix_cached_blocks, s.prefix_reclaimed_blocks);
+}
+
+/// Serves `requests`, drains the engine, and checks every result bitwise
+/// against a dense fp32 single-sequence decode. Returns the mismatches.
+std::size_t serve_round(
+    opal::ServingEngine& engine,
+    const std::shared_ptr<const opal::PreparedModel>& prepared,
+    const std::vector<opal::Request>& requests, const char* label) {
+  using namespace opal;
+  std::vector<RequestId> ids;
+  for (const auto& req : requests) ids.push_back(engine.submit(req));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t steps = 0, decoded = 0;
+  while (true) {
+    const std::size_t n = engine.step();
+    if (n == 0) break;
+    decoded += n;
+    ++steps;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double serve_s = std::chrono::duration<double>(t1 - t0).count();
+  print_stats(label, engine);
+
+  std::size_t mismatches = 0;
+  for (std::size_t r = 0; r < ids.size(); ++r) {
+    const auto result = engine.result(ids[r]);
+    InferenceEngine dense(prepared);
+    std::vector<std::size_t> ref = requests[r].prompt;
+    const std::size_t target = ref.size() + requests[r].max_new_tokens;
+    std::size_t fed = 0;
+    while (fed < ref.size()) {
+      const auto logits = dense.step(ref[fed]);
+      ++fed;
+      if (fed == ref.size() && ref.size() < target) {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < logits.size(); ++i) {
+          if (logits[i] > logits[best]) best = i;
+        }
+        ref.push_back(best);
+        if (ref.size() == target) break;
+      }
+    }
+    if (ref != result.tokens) ++mismatches;
+    engine.release(ids[r]);  // drop the harvested result immediately
+  }
+  std::printf("  [%s] %zu requests in %.2fs, %zu steps, %zu token-decodes, "
+              "%.1f tokens/s, %zu dense-baseline mismatches\n\n",
+              label, ids.size(), serve_s, steps, decoded,
+              static_cast<double>(decoded) / serve_s, mismatches);
+  return mismatches;
 }
 
 }  // namespace
@@ -46,14 +106,16 @@ int main() {
                                                         &calibration);
   const auto t_prep1 = std::chrono::steady_clock::now();
   std::printf("PreparedModel: %s, %.1f%% fp weights, %zu KiB packed "
-              "(quantized once, shared by every sequence)\n",
+              "(quantized once, shared by every sequence; prepare %.2fs)\n",
               prepared->config().label().c_str(),
               100.0 * prepared->fp_weight_fraction(),
-              prepared->weight_storage_bits() / 8 / 1024);
+              prepared->weight_storage_bits() / 8 / 1024,
+              std::chrono::duration<double>(t_prep1 - t_prep0).count());
 
   ServingConfig serving_cfg;
   serving_cfg.max_batch = 4;
   serving_cfg.n_threads = 2;
+  serving_cfg.enable_prefix_cache = true;
   // Dense-equivalent footprint would be max_batch full-length sequences;
   // give the pool a quarter of that and let paging absorb the difference.
   const std::size_t dense_blocks =
@@ -66,76 +128,49 @@ int main() {
               to_string(engine.kv_pool().mode()).c_str(),
               engine.kv_pool().storage_bytes() / 1024, dense_blocks);
 
-  const std::vector<Request> requests = {
-      {{11, 3, 52, 9}, 24},
-      {{200, 17}, 40},
-      {{5, 5, 5, 5, 5, 5, 5, 5}, 16},
-      {{99}, 48},
-      {{42, 120, 7, 33, 81}, 32},
-      {{250, 251, 252}, 20},
-  };
-  std::vector<RequestId> ids;
-  for (const auto& req : requests) ids.push_back(engine.submit(req));
-  std::printf("\nsubmitted %zu requests into %zu batch slots "
-              "(%zu decode threads)\n\n",
-              requests.size(), serving_cfg.max_batch, serving_cfg.n_threads);
-
-  const auto t0 = std::chrono::steady_clock::now();
-  std::size_t steps = 0, decoded = 0;
-  while (true) {
-    const std::size_t n = engine.step();
-    if (n == 0) break;
-    decoded += n;
-    ++steps;
-    if (steps % 16 == 0) print_stats("mid-serve", engine);
+  // A 16-token "system prompt" shared by every request (two full KV block
+  // columns), followed by per-request tails.
+  std::vector<std::size_t> prefix;
+  for (std::size_t i = 0; i < 16; ++i) prefix.push_back((i * 11 + 5) % 256);
+  std::vector<Request> requests;
+  const std::size_t tails[6][3] = {{11, 3, 52},  {200, 17, 9}, {5, 55, 5},
+                                   {99, 98, 97}, {42, 120, 7}, {250, 251, 1}};
+  const std::size_t gens[6] = {24, 32, 16, 28, 20, 24};
+  for (std::size_t r = 0; r < 6; ++r) {
+    Request req;
+    req.prompt = prefix;
+    req.prompt.insert(req.prompt.end(), std::begin(tails[r]),
+                      std::end(tails[r]));
+    req.max_new_tokens = gens[r];
+    requests.push_back(std::move(req));
   }
-  const auto t1 = std::chrono::steady_clock::now();
-  const double serve_s = std::chrono::duration<double>(t1 - t0).count();
-  print_stats("drained", engine);
+  std::printf("\n%zu requests share a %zu-token prefix; %zu batch slots, "
+              "%zu decode threads\n\n",
+              requests.size(), prefix.size(), serving_cfg.max_batch,
+              serving_cfg.n_threads);
 
-  // Dense fp32 baseline: replay each request through a fresh batch-of-1
-  // facade (dense KV cache) and demand bitwise-identical tokens.
   std::size_t mismatches = 0;
-  std::printf("\n%-9s %-9s %7s %10s %7s  %s\n", "request", "status", "prompt",
-              "generated", "total", "vs dense");
-  for (std::size_t r = 0; r < ids.size(); ++r) {
-    const auto result = engine.result(ids[r]);
-    InferenceEngine dense(prepared);
-    std::vector<std::size_t> ref = requests[r].prompt;
-    const std::size_t target = ref.size() + requests[r].max_new_tokens;
-    std::size_t fed = 0;
-    while (fed < ref.size()) {
-      const auto logits = dense.step(ref[fed]);
-      ++fed;
-      if (fed == ref.size() && ref.size() < target) {
-        std::size_t best = 0;
-        for (std::size_t i = 1; i < logits.size(); ++i) {
-          if (logits[i] > logits[best]) best = i;
-        }
-        ref.push_back(best);
-        if (ref.size() == target) break;
-      }
-    }
-    const bool same = ref == result.tokens;
-    mismatches += same ? 0 : 1;
-    std::printf("%-9zu %-9s %7zu %10zu %7zu  %s\n", r,
-                to_string(result.status).c_str(), result.prompt_len,
-                result.generated(), result.tokens.size(),
-                same ? "identical" : "MISMATCH");
-    engine.release(ids[r]);  // drop the harvested result immediately
-  }
+  mismatches += serve_round(engine, prepared, requests, "round 1 cold");
+  const std::size_t cold_hits = engine.stats().prefix_hits;
+  mismatches += serve_round(engine, prepared, requests, "round 2 warm");
+  const std::size_t warm_hits = engine.stats().prefix_hits - cold_hits;
+  const auto s = engine.stats();
 
-  std::printf("\nprepare: %.2fs (once)   serve: %.2fs, %zu steps, "
-              "%zu token-decodes, %.1f tokens/s across the batch\n",
-              std::chrono::duration<double>(t_prep1 - t_prep0).count(),
-              serve_s, steps, decoded,
-              static_cast<double>(decoded) / serve_s);
+  std::printf("round 2 warm prefix hits: %zu (of %zu requests), %zu prefill "
+              "decodes skipped total; pool peak %zu blocks of %zu\n",
+              warm_hits, requests.size(), s.prefix_hit_tokens,
+              s.blocks_peak, engine.kv_pool().n_blocks());
   if (mismatches != 0) {
-    std::printf("ERROR: %zu requests diverged from the dense baseline\n",
+    std::printf("ERROR: %zu results diverged from the dense baseline\n",
                 mismatches);
     return 1;
   }
-  std::printf("all %zu results bitwise identical to the dense fp32 "
-              "baseline\n", ids.size());
+  if (warm_hits == 0) {
+    std::printf("ERROR: warm round served no request from the prefix "
+                "cache\n");
+    return 1;
+  }
+  std::printf("all %zu results (both rounds) bitwise identical to the dense "
+              "fp32 baseline\n", 2 * requests.size());
   return 0;
 }

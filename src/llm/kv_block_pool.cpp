@@ -78,7 +78,8 @@ KvBlockPool::KvBlockPool(std::size_t n_blocks, std::size_t block_size,
   }
   scales_.assign(n_blocks, 0.0f);
   fill_.assign(n_blocks, 0);
-  in_use_.assign(n_blocks, 0);
+  refs_.assign(n_blocks, 0);
+  cached_.assign(n_blocks, 0);
   free_list_.reserve(n_blocks);
   // LIFO stack; push in reverse so the first allocation returns block 0.
   for (std::size_t b = n_blocks; b > 0; --b) {
@@ -92,25 +93,89 @@ KvBlockPool::BlockId KvBlockPool::allocate() {
   }
   const BlockId id = free_list_.back();
   free_list_.pop_back();
-  in_use_[id] = 1;
+  refs_[id] = 1;
+  cached_[id] = 0;
   scales_[id] = 0.0f;
   fill_[id] = 0;
+  peak_in_use_ = std::max(peak_in_use_, blocks_in_use());
   return id;
 }
 
 void KvBlockPool::check_block(BlockId id, const char* what) const {
-  require(id < n_blocks_ && in_use_[id] != 0, what);
+  require(id < n_blocks_ && refs_[id] != 0, what);
 }
 
 void KvBlockPool::free(BlockId id) {
   check_block(id, "KvBlockPool::free: bad or already-free block");
-  in_use_[id] = 0;
-  free_list_.push_back(id);
+  if (--refs_[id] == 0) {
+    require(cached_[id] == 0,
+            "KvBlockPool::free: cached block lost its cache reference");
+    free_list_.push_back(id);
+  } else if (refs_[id] == 1 && cached_[id] != 0) {
+    ++reclaimable_;  // only the prefix cache still holds it
+  }
+}
+
+void KvBlockPool::add_ref(BlockId id) {
+  check_block(id, "KvBlockPool::add_ref: bad or free block");
+  if (refs_[id] == 1 && cached_[id] != 0) --reclaimable_;
+  ++refs_[id];
+}
+
+std::uint32_t KvBlockPool::ref_count(BlockId id) const {
+  require(id < n_blocks_, "KvBlockPool::ref_count: id out of range");
+  return refs_[id];
+}
+
+KvBlockPool::BlockId KvBlockPool::clone_rows(BlockId src, std::size_t n_rows) {
+  check_block(src, "KvBlockPool::clone_rows: bad or free block");
+  require(n_rows <= block_size_, "KvBlockPool::clone_rows: too many rows");
+  const BlockId id = allocate();
+  const std::size_t n = n_rows * d_model_;
+  if (mode_ == KvQuantMode::kFp32) {
+    std::copy_n(fdata_.begin() + src * block_size_ * d_model_, n,
+                fdata_.begin() + id * block_size_ * d_model_);
+  } else {
+    std::copy_n(qdata_.begin() + src * block_size_ * d_model_, n,
+                qdata_.begin() + id * block_size_ * d_model_);
+  }
+  scales_[id] = scales_[src];
+  fill_[id] = n_rows;
+  return id;
+}
+
+void KvBlockPool::pin_cached(BlockId id) {
+  check_block(id, "KvBlockPool::pin_cached: bad or free block");
+  require(cached_[id] == 0, "KvBlockPool::pin_cached: already cached");
+  // The cache's own reference. refs >= 2 now, so the block only becomes
+  // reclaimable once every other holder releases it.
+  ++refs_[id];
+  cached_[id] = 1;
+}
+
+void KvBlockPool::release_cached(BlockId id) {
+  check_block(id, "KvBlockPool::release_cached: bad or free block");
+  require(cached_[id] != 0, "KvBlockPool::release_cached: not cached");
+  cached_[id] = 0;
+  if (refs_[id] == 1) --reclaimable_;
+  free(id);
+}
+
+bool KvBlockPool::is_cached(BlockId id) const {
+  check_block(id, "KvBlockPool::is_cached: bad or free block");
+  return cached_[id] != 0;
+}
+
+std::size_t KvBlockPool::rows_written(BlockId id) const {
+  check_block(id, "KvBlockPool::rows_written: bad or free block");
+  return fill_[id];
 }
 
 void KvBlockPool::write_row(BlockId id, std::size_t row,
                             std::span<const float> v) {
   check_block(id, "KvBlockPool::write_row: bad or free block");
+  require(refs_[id] == 1,
+          "KvBlockPool::write_row: shared block (copy-on-write required)");
   require(row < block_size_, "KvBlockPool::write_row: row out of range");
   require(v.size() == d_model_, "KvBlockPool::write_row: dim mismatch");
   const std::size_t base = (id * block_size_ + row) * d_model_;

@@ -24,6 +24,18 @@
 // through a fresh block reproduces the same codes — full preemption followed
 // by recompute is deterministic in every mode.
 //
+// Blocks are refcounted so full (immutable) blocks can be shared between
+// sequences and the prefix cache: allocate() hands out a block with one
+// reference, add_ref() adds holders, and free() drops one reference,
+// returning the block to the free list only when the last holder lets go.
+// Writes require exclusive ownership (refcount 1) — a holder that wants to
+// write a shared block must copy-on-write via clone_rows() first. A
+// PrefixCache additionally marks its blocks with pin_cached(): a cached
+// block whose only remaining reference is the cache itself counts as
+// *reclaimable* (free capacity in waiting), while everything else in use is
+// *pinned*; reclaimable_blocks()/pinned_blocks() expose that split and
+// peak_blocks_in_use() records the in-use high-water mark.
+//
 // The pool itself is not internally synchronized: allocate/free/write must
 // be externally serialized (ServingEngine reserves blocks in its serial
 // phase; the parallel decode phase only reads and writes rows of blocks
@@ -62,24 +74,60 @@ class KvBlockPool {
   KvBlockPool(std::size_t n_blocks, std::size_t block_size,
               std::size_t d_model, KvQuantMode mode = KvQuantMode::kFp32);
 
-  /// O(1). Returns a block with reset quantization state (scale 0, no rows).
-  /// Throws KvPoolExhausted when no block is free.
+  /// O(1). Returns a block with reset quantization state (scale 0, no rows)
+  /// and refcount 1. Throws KvPoolExhausted when no block is free.
   [[nodiscard]] BlockId allocate();
 
-  /// O(1). Double frees and out-of-range ids throw.
+  /// O(1). Drops one reference; the block returns to the free list when the
+  /// last holder releases it. Over-frees and out-of-range ids throw.
   void free(BlockId id);
+
+  /// Registers another holder of an in-use block (prefix sharing). Shared
+  /// blocks are read-only until copy-on-write restores exclusive ownership.
+  void add_ref(BlockId id);
+  [[nodiscard]] std::uint32_t ref_count(BlockId id) const;
+
+  /// Allocates a fresh block and copies rows [0, n_rows) of `src` into it
+  /// bitwise — quantized codes, block scale, and fill state included — so a
+  /// holder of a shared block can copy-on-write its written prefix. Throws
+  /// KvPoolExhausted like allocate().
+  [[nodiscard]] BlockId clone_rows(BlockId src, std::size_t n_rows);
+
+  /// Marks an in-use block as indexed by a prefix cache, adding the cache's
+  /// own reference. At most one cache may pin a given block.
+  void pin_cached(BlockId id);
+  /// Reverses pin_cached: clears the cached flag and drops the cache's
+  /// reference (freeing the block when the cache was the last holder).
+  void release_cached(BlockId id);
+  [[nodiscard]] bool is_cached(BlockId id) const;
+
+  /// Rows written into `id` since it was allocated (or cloned).
+  [[nodiscard]] std::size_t rows_written(BlockId id) const;
 
   [[nodiscard]] std::size_t n_blocks() const { return n_blocks_; }
   [[nodiscard]] std::size_t free_blocks() const { return free_list_.size(); }
   [[nodiscard]] std::size_t blocks_in_use() const {
     return n_blocks_ - free_list_.size();
   }
+  /// In-use blocks held only by a prefix cache: reclaimable on demand, so
+  /// they never reduce the pool's effective capacity.
+  [[nodiscard]] std::size_t reclaimable_blocks() const { return reclaimable_; }
+  /// In-use blocks some sequence still references (not reclaimable).
+  [[nodiscard]] std::size_t pinned_blocks() const {
+    return blocks_in_use() - reclaimable_;
+  }
+  /// High-water mark of blocks_in_use() over the pool's lifetime — makes
+  /// prefix sharing observable (N sequences over one shared prefix peak far
+  /// below N private copies).
+  [[nodiscard]] std::size_t peak_blocks_in_use() const { return peak_in_use_; }
   [[nodiscard]] std::size_t block_size() const { return block_size_; }
   [[nodiscard]] std::size_t d_model() const { return d_model_; }
   [[nodiscard]] KvQuantMode mode() const { return mode_; }
 
   /// Quantizes one position's d_model-long vector into row `row` of `id`,
   /// growing the block scale (and rescaling earlier rows) if needed.
+  /// Requires exclusive ownership (refcount 1): shared blocks are immutable
+  /// and must be copy-on-written via clone_rows() first.
   void write_row(BlockId id, std::size_t row, std::span<const float> v);
 
   /// Dequantizes row `row` of `id` into `out` (d_model floats). In kFp32
@@ -110,7 +158,18 @@ class KvBlockPool {
   std::vector<float> scales_;       // per block: amax (int8) or exponent (log2)
   std::vector<std::size_t> fill_;   // rows written since allocate (for rescale)
   std::vector<BlockId> free_list_;  // LIFO free stack
-  std::vector<std::uint8_t> in_use_;
+  std::vector<std::uint32_t> refs_;    // holders per block; 0 = free
+  std::vector<std::uint8_t> cached_;   // indexed by a PrefixCache
+  std::size_t reclaimable_ = 0;        // cached && refcount == 1
+  std::size_t peak_in_use_ = 0;
+};
+
+/// One block column: the K and V block of every layer covering one
+/// block_size span of positions — the unit prefix caching shares between
+/// sequences.
+struct KvBlockColumn {
+  std::vector<KvBlockPool::BlockId> k;  // [n_layers]
+  std::vector<KvBlockPool::BlockId> v;  // [n_layers]
 };
 
 }  // namespace opal

@@ -38,25 +38,101 @@ void PagedKvCache::release_from(std::size_t first_block) {
 std::size_t PagedKvCache::blocks_needed_for_next() const {
   if (len_ >= max_seq_len_) return 0;  // advance() will throw, not allocate
   const std::size_t column = len_ / pool_->block_size();
-  // Already reserved (or mid-block): the tables cover position len_.
-  if (column < k_blocks_[0].size()) return 0;
-  return 2 * k_blocks_.size();
+  if (column >= k_blocks_[0].size()) return 2 * k_blocks_.size();
+  // Mid-column (or reserved): the next append() copy-on-writes any block of
+  // the write column another holder still shares.
+  std::size_t need = 0;
+  for (std::size_t l = 0; l < k_blocks_.size(); ++l) {
+    if (pool_->ref_count(k_blocks_[l][column]) > 1) ++need;
+    if (pool_->ref_count(v_blocks_[l][column]) > 1) ++need;
+  }
+  return need;
 }
 
 void PagedKvCache::reserve_next() {
   require(len_ < max_seq_len_,
           "PagedKvCache::reserve_next: cache full (length == max_seq_len)");
   const std::size_t column = len_ / pool_->block_size();
-  if (column < k_blocks_[0].size()) return;  // covered or already reserved
-  const std::size_t need = 2 * k_blocks_.size();
+  if (column >= k_blocks_[0].size()) {
+    const std::size_t need = 2 * k_blocks_.size();
+    if (pool_->free_blocks() < need) {
+      throw KvPoolExhausted(
+          "PagedKvCache: pool cannot supply a new block column");
+    }
+    for (std::size_t l = 0; l < k_blocks_.size(); ++l) {
+      k_blocks_[l].push_back(pool_->allocate());
+      v_blocks_[l].push_back(pool_->allocate());
+    }
+    return;
+  }
+  // Write position lands inside an existing column: restore exclusive
+  // ownership of any still-shared block by cloning its written prefix
+  // (rows [0, row)) into a private block. Check capacity up front so a
+  // throw takes nothing; a partial completion after a concurrent pool
+  // change still leaves a consistent cache (retry finishes the rest).
+  const std::size_t need = blocks_needed_for_next();
+  if (need == 0) return;
   if (pool_->free_blocks() < need) {
     throw KvPoolExhausted(
-        "PagedKvCache: pool cannot supply a new block column");
+        "PagedKvCache: pool cannot supply copy-on-write blocks");
   }
+  const std::size_t row = len_ % pool_->block_size();
+  for (auto* tables : {&k_blocks_, &v_blocks_}) {
+    for (auto& blocks : *tables) {
+      KvBlockPool::BlockId& slot = blocks[column];
+      if (pool_->ref_count(slot) > 1) {
+        const KvBlockPool::BlockId fresh = pool_->clone_rows(slot, row);
+        pool_->free(slot);
+        slot = fresh;
+      }
+    }
+  }
+}
+
+void PagedKvCache::map_shared(std::span<const KvBlockColumn> columns,
+                              std::size_t n_positions) {
+  require(len_ == 0 && k_blocks_[0].empty() && v_blocks_[0].empty(),
+          "PagedKvCache::map_shared: cache must be empty");
+  const std::size_t bs = pool_->block_size();
+  require(n_positions == columns.size() * bs,
+          "PagedKvCache::map_shared: positions must cover whole columns");
+  require(n_positions <= max_seq_len_,
+          "PagedKvCache::map_shared: positions exceed max_seq_len");
+  const std::size_t n_layers = k_blocks_.size();
+  for (const auto& col : columns) {
+    require(col.k.size() == n_layers && col.v.size() == n_layers,
+            "PagedKvCache::map_shared: column layer count mismatch");
+    for (std::size_t l = 0; l < n_layers; ++l) {
+      require(pool_->rows_written(col.k[l]) == bs &&
+                  pool_->rows_written(col.v[l]) == bs,
+              "PagedKvCache::map_shared: shared blocks must be full");
+    }
+  }
+  // add_ref before each table insert: a throw mid-way leaves every pushed
+  // block referenced exactly once by this cache (the destructor releases).
+  for (const auto& col : columns) {
+    for (std::size_t l = 0; l < n_layers; ++l) {
+      pool_->add_ref(col.k[l]);
+      k_blocks_[l].push_back(col.k[l]);
+      pool_->add_ref(col.v[l]);
+      v_blocks_[l].push_back(col.v[l]);
+    }
+  }
+  len_ = n_positions;
+}
+
+KvBlockColumn PagedKvCache::block_column(std::size_t column) const {
+  const std::size_t bs = pool_->block_size();
+  require((column + 1) * bs <= len_,
+          "PagedKvCache::block_column: column not fully written");
+  KvBlockColumn col;
+  col.k.reserve(k_blocks_.size());
+  col.v.reserve(v_blocks_.size());
   for (std::size_t l = 0; l < k_blocks_.size(); ++l) {
-    k_blocks_[l].push_back(pool_->allocate());
-    v_blocks_[l].push_back(pool_->allocate());
+    col.k.push_back(k_blocks_[l][column]);
+    col.v.push_back(v_blocks_[l][column]);
   }
+  return col;
 }
 
 void PagedKvCache::advance() {

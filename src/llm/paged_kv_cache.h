@@ -12,6 +12,15 @@
 //
 // Reads go through gather(), which dequantizes one layer's K and V into
 // caller scratch; in fp32 mode this reproduces the written bits exactly.
+//
+// Prefix sharing: map_shared() adopts full, already-written block columns
+// (a PrefixCache hit) as this cache's leading positions, taking a pool
+// reference per block instead of recomputing them. Shared blocks are
+// immutable; when a truncate() lands mid-way into a shared block and the
+// sequence re-advances over it, reserve_next() copies the written prefix
+// into a private block first (copy-on-write), so append() always writes
+// exclusively-owned storage and the parallel decode phase never touches
+// the pool.
 #pragma once
 
 #include <cstddef>
@@ -41,15 +50,31 @@ class PagedKvCache {
   /// on throw, no blocks were taken).
   void advance();
 
-  /// Pre-acquires the blocks the next advance() needs, so a serving layer
+  /// Pre-acquires the blocks the next advance()+append() needs — a fresh
+  /// block column at a boundary, or private copy-on-write copies of any
+  /// shared blocks the next write position lands in — so a serving layer
   /// can do all pool mutation in its serial phase and keep the parallel
   /// decode phase free of shared-state writes. Idempotent; throws
   /// KvPoolExhausted like advance().
   void reserve_next();
 
-  /// Blocks the next advance() would need from the pool right now
-  /// (0 mid-block or when already reserved, 2*n_layers at a boundary).
+  /// Blocks the next advance() would take from the pool right now
+  /// (2*n_layers at an unreserved boundary, the copy-on-write count when
+  /// the write position lands in shared blocks, else 0).
   [[nodiscard]] std::size_t blocks_needed_for_next() const;
+
+  /// Adopts `columns` of full, already-written shared blocks as this
+  /// cache's first `n_positions` positions, taking a pool reference on
+  /// every block. Requires an empty cache, whole columns
+  /// (n_positions == columns.size() * block_size), and fully-written
+  /// blocks. Decoding then resumes from position n_positions.
+  void map_shared(std::span<const KvBlockColumn> columns,
+                  std::size_t n_positions);
+
+  /// The block ids covering positions [column*block_size,
+  /// (column+1)*block_size) — must be fully written (for PrefixCache
+  /// insertion).
+  [[nodiscard]] KvBlockColumn block_column(std::size_t column) const;
 
   /// Writes this step's key and value vectors for `layer` at the position
   /// opened by the last advance() (quantizing per the pool's mode).

@@ -83,6 +83,14 @@ std::size_t PreparedModel::kv_blocks_per_sequence() const {
                                   config_.max_seq_len, config_.kv_block_size);
 }
 
+PrefixCache PreparedModel::make_prefix_cache(KvBlockPool& pool) const {
+  require(pool.block_size() == config_.kv_block_size &&
+              pool.d_model() == model_->config().d_model &&
+              pool.mode() == config_.kv_mode,
+          "PreparedModel::make_prefix_cache: pool does not match the model");
+  return PrefixCache(pool, model_->config().n_layers);
+}
+
 KvBlockPool PreparedModel::make_kv_pool(double n_full_sequences) const {
   const auto want = static_cast<std::size_t>(
       n_full_sequences * static_cast<double>(kv_blocks_per_sequence()));

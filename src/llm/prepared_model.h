@@ -18,6 +18,7 @@
 
 #include "llm/kv_block_pool.h"
 #include "llm/norm.h"
+#include "llm/prefix_cache.h"
 #include "llm/synthetic.h"
 #include "owq/calibration.h"
 #include "owq/gptq.h"
@@ -128,6 +129,12 @@ class PreparedModel {
   /// at full max_seq_len. Serving layers can carve smaller pools by scaling
   /// the block count down.
   [[nodiscard]] KvBlockPool make_kv_pool(double n_full_sequences) const;
+
+  /// A prefix cache indexing full KV block columns of `pool` (which must
+  /// match this model's KV layout) by their token-id prefix; admission maps
+  /// hits with SequenceState::adopt_prefix so prefill skips the cached
+  /// positions.
+  [[nodiscard]] PrefixCache make_prefix_cache(KvBlockPool& pool) const;
 
   /// Pool blocks one sequence at full max_seq_len occupies.
   [[nodiscard]] std::size_t kv_blocks_per_sequence() const;

@@ -48,6 +48,22 @@ class SequenceState {
   /// new boundary. Throws if len exceeds position().
   void truncate(std::size_t len);
 
+  /// Adopts shared, already-written block columns (a PrefixCache hit) as
+  /// this sequence's first `n_positions` cached positions, so prefill can
+  /// skip ahead and resume decoding from there. Paged mode only; the cache
+  /// must be empty (see PagedKvCache::map_shared).
+  void adopt_prefix(std::span<const KvBlockColumn> columns,
+                    std::size_t n_positions) {
+    require(paged_.has_value(),
+            "SequenceState::adopt_prefix: dense KV cannot share blocks");
+    paged_->map_shared(columns, n_positions);
+  }
+
+  /// Paged-mode KV cache, for PrefixCache insertion (null in dense mode).
+  [[nodiscard]] const PagedKvCache* paged_cache() const {
+    return paged_ ? &*paged_ : nullptr;
+  }
+
   /// Pool blocks currently held (0 in dense mode).
   [[nodiscard]] std::size_t blocks_held() const {
     return paged_ ? paged_->blocks_held() : 0;

@@ -53,6 +53,10 @@ ServingEngine::ServingEngine(std::shared_ptr<const PreparedModel> model,
   require(kv_pool_->n_blocks() >=
               PagedKvCache::blocks_for(mcfg.n_layers, 1, ecfg.kv_block_size),
           "ServingEngine: pool smaller than one block column");
+  if (config_.enable_prefix_cache) {
+    prefix_cache_ =
+        std::make_unique<PrefixCache>(model_->make_prefix_cache(*kv_pool_));
+  }
 }
 
 ServingEngine::ServingEngine(const PreparedModel& model, ServingConfig config)
@@ -89,6 +93,48 @@ std::size_t ServingEngine::blocks_needed(const Sequence& seq) const {
                                   model_->config().kv_block_size);
 }
 
+bool ServingEngine::ensure_free_blocks(std::size_t target) {
+  if (kv_pool_->free_blocks() >= target) return true;
+  if (prefix_cache_ != nullptr) {
+    // Unreferenced cached prefixes are free capacity in waiting: reclaim
+    // LRU entries before letting pressure disturb any sequence.
+    prefix_cache_->reclaim(target - kv_pool_->free_blocks());
+  }
+  return kv_pool_->free_blocks() >= target;
+}
+
+void ServingEngine::restore_cached_prefix(Sequence& seq) {
+  if (prefix_cache_ == nullptr) return;
+  // Cap the restore one short of the known tokens AND of max_seq_len: the
+  // final token's decode produces the logits generation extends from,
+  // completion bookkeeping needs at least one decode per admission, and a
+  // request destined for KV exhaustion must still decode (and retire) the
+  // same way a cache-off run does.
+  const auto& tokens = seq.result.tokens;
+  const std::size_t cap =
+      std::min(tokens.size(), model_->config().max_seq_len) - 1;
+  const auto match = prefix_cache_->lookup(tokens, cap);
+  if (match.positions == 0) return;
+  seq.state->adopt_prefix(match.columns, match.positions);
+  seq.fed = match.positions;  // prefill skips the restored positions
+}
+
+void ServingEngine::maybe_cache_prefix(const Sequence& seq) {
+  if (prefix_cache_ == nullptr || seq.state == nullptr) return;
+  const PagedKvCache* cache = seq.state->paged_cache();
+  if (cache == nullptr) return;
+  const std::size_t bs = model_->config().kv_block_size;
+  const std::size_t aligned = (seq.fed / bs) * bs;  // full columns only
+  if (aligned == 0) return;
+  prefix_cache_->insert(seq.result.tokens, aligned, *cache);
+}
+
+void ServingEngine::release_sequence_kv(Sequence& seq) {
+  maybe_cache_prefix(seq);
+  seq.state.reset();
+  seq.fed = 0;
+}
+
 void ServingEngine::admit_from_queue() {
   for (;;) {
     // Blocks the current batch will take on its next advance: admission
@@ -97,15 +143,23 @@ void ServingEngine::admit_from_queue() {
     std::size_t planned = 0;
     for (const auto& seq : batch_) planned += blocks_needed(seq);
     while (batch_.size() < config_.max_batch && !queue_.empty()) {
-      const std::size_t need = blocks_needed(queue_.front());
-      if (planned + need > kv_pool_->free_blocks()) break;  // head-of-line
+      Sequence& head = queue_.front();
+      // Restore the head's cached prefix BEFORE checking capacity: adoption
+      // consumes no free blocks, and its references protect the matched
+      // entries from the reclaim pass below (which would otherwise evict
+      // the very prefix this request is about to reuse). If admission then
+      // blocks, the head just waits in the queue holding its prefix —
+      // reclaim_queued_prefix downgrades it under extreme pressure.
+      if (head.state == nullptr) {
+        head.state =
+            std::make_unique<SequenceState>(model_->make_sequence(*kv_pool_));
+        restore_cached_prefix(head);
+      }
+      const std::size_t need = blocks_needed(head);
+      if (!ensure_free_blocks(planned + need)) break;  // head-of-line
       planned += need;
       Sequence seq = std::move(queue_.front());
       queue_.pop_front();
-      if (seq.state == nullptr) {
-        seq.state =
-            std::make_unique<SequenceState>(model_->make_sequence(*kv_pool_));
-      }
       seq.result.status = RequestStatus::kRunning;
       batch_.push_back(std::move(seq));
     }
@@ -121,8 +175,7 @@ void ServingEngine::admit_from_queue() {
 bool ServingEngine::reclaim_queued_prefix() {
   for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
     if (it->state != nullptr && it->state->blocks_held() > 0) {
-      it->state.reset();
-      it->fed = 0;
+      release_sequence_kv(*it);
       ++stat_preemptions_;
       return true;
     }
@@ -134,7 +187,9 @@ bool ServingEngine::ensure_kv_capacity() {
   for (;;) {
     std::size_t need = 0;
     for (const auto& seq : batch_) need += blocks_needed(seq);
-    if (need <= kv_pool_->free_blocks()) return true;  // incl. empty batch
+    // Reclaims LRU cached prefixes first: the prefix cache never costs a
+    // running sequence its blocks. True covers the empty batch too.
+    if (ensure_free_blocks(need)) return true;
     if (batch_.size() == 1) {
       // No running sequence left to preempt: first reclaim kept prefixes
       // of queued (manually preempted) sequences — they replay anyway.
@@ -142,6 +197,9 @@ bool ServingEngine::ensure_kv_capacity() {
       // If another engine on a shared pool holds the missing blocks, the
       // shortfall is transient — stall this step instead of destroying
       // the sequence; they free up as the other engine retires work.
+      // (Our own reclaimable cache entries are already gone: a cached
+      // block that survived ensure_free_blocks is held by a live
+      // sequence of ours, whose path references count under `ours`.)
       std::size_t ours = batch_.front().state->blocks_held();
       for (const auto& seq : queue_) {
         if (seq.state != nullptr) ours += seq.state->blocks_held();
@@ -154,13 +212,14 @@ bool ServingEngine::ensure_kv_capacity() {
       admit_from_queue();
       continue;
     }
-    // Recompute preemption of the youngest running sequence: release every
-    // block, requeue at the front so it reclaims its slot (and replays its
-    // token prefix) as soon as memory frees up.
+    // Recompute preemption of the youngest running sequence: cache its
+    // full block columns (replay then restores them as a prefix hit, and
+    // the reclaim above frees them LRU-first if pressure persists), then
+    // requeue at the front so it reclaims its slot as soon as memory
+    // frees up.
     Sequence victim = std::move(batch_.back());
     batch_.pop_back();
-    victim.state.reset();
-    victim.fed = 0;
+    release_sequence_kv(victim);
     victim.result.status = RequestStatus::kQueued;
     ++stat_preemptions_;
     queue_.push_front(std::move(victim));
@@ -169,7 +228,10 @@ bool ServingEngine::ensure_kv_capacity() {
 
 void ServingEngine::finish(Sequence&& seq, RequestStatus status) {
   seq.result.status = status;
-  seq.state.reset();  // blocks return to the pool immediately
+  // Index the retiring sequence's prefix before its blocks go back to the
+  // pool: the next request sharing the prompt skips that prefill.
+  maybe_cache_prefix(seq);
+  seq.state.reset();  // unshared blocks return to the pool immediately
   if (status == RequestStatus::kEvicted) ++stat_evictions_;
   done_.emplace(seq.id, std::move(seq.result));
 }
@@ -184,6 +246,10 @@ ServingEngine::Sequence* ServingEngine::find_running(RequestId id) {
 void ServingEngine::preempt(RequestId id, std::size_t keep_positions) {
   Sequence* seq = find_running(id);
   require(seq != nullptr, "ServingEngine::preempt: request is not running");
+  // Index the full columns first either way: blocks the truncate below
+  // releases stay reclaimable instead of vanishing, and a keep-0 replay
+  // restores them as a prefix hit.
+  maybe_cache_prefix(*seq);
   if (keep_positions == 0) {
     // Full preemption releases every KV block (the point of preempting
     // under memory pressure); readmission recreates the state.
@@ -306,11 +372,21 @@ ServingEngine::Stats ServingEngine::stats() const {
   Stats s;
   s.blocks_in_use = kv_pool_->blocks_in_use();
   s.blocks_free = kv_pool_->free_blocks();
+  s.blocks_peak = kv_pool_->peak_blocks_in_use();
+  s.blocks_reclaimable = kv_pool_->reclaimable_blocks();
   s.running = batch_.size();
   s.queued = queue_.size();
   s.evictions = stat_evictions_;
   s.preemptions = stat_preemptions_;
   s.tokens_decoded = stat_tokens_;
+  if (prefix_cache_ != nullptr) {
+    const auto p = prefix_cache_->stats();
+    s.prefix_hits = p.hits;
+    s.prefix_misses = p.lookups - p.hits;
+    s.prefix_hit_tokens = p.hit_positions;
+    s.prefix_cached_blocks = p.cached_blocks;
+    s.prefix_reclaimed_blocks = p.reclaimed_blocks;
+  }
   return s;
 }
 

@@ -35,6 +35,25 @@
 // Because full preemption replays the exact token prefix through fresh
 // blocks, serving under memory pressure returns the same tokens as serving
 // with an unbounded pool (bitwise in fp32 mode; see test_serving.cpp).
+//
+// Prefix caching (ServingConfig::enable_prefix_cache): full KV blocks are
+// immutable and their contents are a pure function of the token prefix
+// that produced them, so the engine keeps a PrefixCache — a radix tree
+// over block-aligned token-id chunks — on its pool. At admission it maps
+// the longest cached prefix of the request's tokens straight into the
+// sequence's block tables (taking references, skipping prefill for those
+// positions; at least the final known token is always fed so its logits
+// exist to extend from); on release — completion, eviction, or preemption
+// — it indexes the sequence's full block columns instead of discarding
+// them, which also turns preemption replay into a cache hit. Cached blocks
+// no sequence references stay reclaimable: under pool pressure the engine
+// reclaims LRU cache entries *before* preempting anything, so the cache
+// never reduces effective capacity. Prefix-cache hits skip the skipped
+// positions' decodes entirely — the logits observer does not fire for
+// them — so leave the cache off for teacher-forced scoring that must see
+// every position (evaluate_perplexity_batched does). Outputs are bitwise
+// identical to a cache-off run in every kv_mode for block-aligned sharing,
+// since a cached block holds exactly the codes a replay would recompute.
 #pragma once
 
 #include <cstddef>
@@ -49,6 +68,7 @@
 
 #include "common/thread_pool.h"
 #include "llm/kv_block_pool.h"
+#include "llm/prefix_cache.h"
 #include "llm/prepared_model.h"
 #include "llm/sequence_state.h"
 
@@ -101,8 +121,15 @@ struct ServingConfig {
   /// columns can hold each other's blocks and stall mutually — step()
   /// returns 0 with running() > 0 (distinguishable from a drained engine,
   /// where running() and queued() are both 0), and the caller must
-  /// preempt() or resize to make progress.
+  /// preempt() or resize to make progress. An engine only reclaims its OWN
+  /// prefix cache under pressure; when sharing a pool between engines with
+  /// caches enabled, an idle engine's cached blocks can hold a busy one in
+  /// that stall until the caller drives prefix_cache()->reclaim()/clear().
   std::shared_ptr<KvBlockPool> kv_pool;
+  /// Reuse KV blocks across requests that share token prefixes (see the
+  /// header comment). Off by default because restored positions skip their
+  /// decodes, which silences the logits observer for those positions.
+  bool enable_prefix_cache = false;
 };
 
 class ServingEngine {
@@ -137,7 +164,9 @@ class ServingEngine {
   /// under fp32 KV, while in quantized modes the boundary block keeps the
   /// grow-only scale its truncated rows produced, so results can differ
   /// slightly from an uninterrupted run — prefer keep_positions == 0 when
-  /// strict reproducibility matters there.
+  /// strict reproducibility matters there. With the prefix cache on, the
+  /// sequence's full block columns are indexed before anything is released,
+  /// so replay typically restores them as a cache hit.
   void preempt(RequestId id, std::size_t keep_positions = 0);
 
   /// Snapshot of a request's current result (returned by value: step(),
@@ -167,13 +196,32 @@ class ServingEngine {
   struct Stats {
     std::size_t blocks_in_use = 0;
     std::size_t blocks_free = 0;
+    /// Pool blocks-in-use high-water mark — with prefix sharing, N
+    /// sequences over one prompt prefix peak far below N private copies.
+    std::size_t blocks_peak = 0;
+    /// Cached blocks no sequence references (free capacity in waiting).
+    std::size_t blocks_reclaimable = 0;
     std::size_t running = 0;
     std::size_t queued = 0;
     std::size_t evictions = 0;       // cumulative kEvicted retirements
     std::size_t preemptions = 0;     // cumulative (manual + memory pressure)
     std::size_t tokens_decoded = 0;  // cumulative decode steps executed
+    // Prefix-cache counters (all 0 when enable_prefix_cache is off).
+    std::size_t prefix_hits = 0;        // admissions that restored a prefix
+    std::size_t prefix_misses = 0;      // admissions that found nothing
+    std::size_t prefix_hit_tokens = 0;  // cumulative prefill decodes skipped
+    std::size_t prefix_cached_blocks = 0;     // currently pinned by the cache
+    std::size_t prefix_reclaimed_blocks = 0;  // cumulative freed under pressure
   };
   [[nodiscard]] Stats stats() const;
+
+  /// The engine's prefix cache (null unless enable_prefix_cache). Exposed
+  /// so callers can reclaim()/clear() explicitly — e.g. to release a shared
+  /// pool's cached blocks to a sibling engine.
+  [[nodiscard]] PrefixCache* prefix_cache() { return prefix_cache_.get(); }
+  [[nodiscard]] const PrefixCache* prefix_cache() const {
+    return prefix_cache_.get();
+  }
 
   /// Observes the logits of every decode, in deterministic slot order
   /// within each step: (request, 0-based position of the fed token, logits).
@@ -207,13 +255,23 @@ class ServingEngine {
   };
 
   void admit_from_queue();
-  /// Resolves pool pressure by preemption/reclaim/eviction. False: a
+  /// Resolves pool pressure by cache-reclaim/preemption/eviction. False: a
   /// shared pool's blocks are transiently held by another engine and this
   /// step must stall (no decode) until they free up.
   bool ensure_kv_capacity();
   /// Downgrades the youngest queued sequence still holding a kept KV
   /// prefix to full recompute, returning its blocks. False if none holds.
   bool reclaim_queued_prefix();
+  /// True once the pool has `target` free blocks, reclaiming LRU prefix
+  /// cache entries to get there if needed.
+  bool ensure_free_blocks(std::size_t target);
+  /// Maps the longest cached prefix of seq's tokens into its fresh state.
+  void restore_cached_prefix(Sequence& seq);
+  /// Indexes seq's full block columns in the prefix cache (no-op when the
+  /// cache is off or nothing block-aligned was fed).
+  void maybe_cache_prefix(const Sequence& seq);
+  /// Releases seq's KV (caching its prefix first) for full recompute.
+  void release_sequence_kv(Sequence& seq);
   void finish(Sequence&& seq, RequestStatus status);
   Sequence* find_running(RequestId id);
   [[nodiscard]] std::size_t blocks_needed(const Sequence& seq) const;
@@ -222,6 +280,7 @@ class ServingEngine {
   ServingConfig config_;
   std::unique_ptr<ThreadPool> pool_;  // null when n_threads == 0
   std::shared_ptr<KvBlockPool> kv_pool_;
+  std::unique_ptr<PrefixCache> prefix_cache_;  // null unless enabled
   std::deque<Sequence> queue_;
   std::vector<Sequence> batch_;
   std::vector<std::size_t> fed_pos_;  // per-step scratch, reused

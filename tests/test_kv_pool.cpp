@@ -134,6 +134,76 @@ TEST(KvBlockPool, Log2NonPowersStayWithinOneOctave) {
   }
 }
 
+TEST(KvBlockPool, RefcountedSharingAndReclaimableAccounting) {
+  KvBlockPool pool(4, 2, 4);
+  EXPECT_EQ(pool.peak_blocks_in_use(), 0u);
+  const auto id = pool.allocate();
+  EXPECT_EQ(pool.ref_count(id), 1u);
+  EXPECT_EQ(pool.peak_blocks_in_use(), 1u);
+
+  // A second holder keeps the block alive across the first free.
+  pool.add_ref(id);
+  EXPECT_EQ(pool.ref_count(id), 2u);
+  pool.free(id);
+  EXPECT_EQ(pool.ref_count(id), 1u);
+  EXPECT_EQ(pool.blocks_in_use(), 1u);
+  pool.free(id);
+  EXPECT_EQ(pool.free_blocks(), 4u);
+  EXPECT_THROW(pool.free(id), std::invalid_argument);  // over-free
+
+  // Cache pinning: pinned while referenced, reclaimable once the last
+  // sequence lets go, pinned again when a new sequence maps it.
+  const auto c = pool.allocate();
+  pool.pin_cached(c);
+  EXPECT_TRUE(pool.is_cached(c));
+  EXPECT_EQ(pool.ref_count(c), 2u);
+  EXPECT_EQ(pool.reclaimable_blocks(), 0u);
+  EXPECT_EQ(pool.pinned_blocks(), 1u);
+  pool.free(c);  // the sequence releases; only the cache holds it now
+  EXPECT_EQ(pool.reclaimable_blocks(), 1u);
+  EXPECT_EQ(pool.pinned_blocks(), 0u);
+  pool.add_ref(c);  // a new sequence maps the cached block
+  EXPECT_EQ(pool.reclaimable_blocks(), 0u);
+  pool.free(c);
+  EXPECT_EQ(pool.reclaimable_blocks(), 1u);
+  pool.release_cached(c);  // cache reclaims: block returns to the pool
+  EXPECT_EQ(pool.reclaimable_blocks(), 0u);
+  EXPECT_EQ(pool.free_blocks(), 4u);
+
+  // The high-water mark survives the churn back to empty.
+  EXPECT_EQ(pool.peak_blocks_in_use(), 1u);
+}
+
+TEST(KvBlockPool, SharedBlocksAreImmutableUntilCloned) {
+  KvBlockPool pool(4, 2, 4, KvQuantMode::kInt8);
+  Rng rng = make_rng(7);
+  const auto id = pool.allocate();
+  const auto row0 = random_row(rng, 4);
+  const auto row1 = random_row(rng, 4, 2.0f);  // grows the block scale
+  pool.write_row(id, 0, row0);
+  pool.write_row(id, 1, row1);
+
+  pool.add_ref(id);  // now shared: writes must be rejected
+  EXPECT_THROW(pool.write_row(id, 1, row0), std::invalid_argument);
+
+  // Copy-on-write: the clone carries the written prefix bitwise — codes,
+  // scale, and fill state — so re-advancing over it is deterministic.
+  const auto copy = pool.clone_rows(id, 1);
+  EXPECT_EQ(pool.ref_count(copy), 1u);
+  EXPECT_EQ(pool.block_scale(copy), pool.block_scale(id));
+  EXPECT_EQ(pool.rows_written(copy), 1u);
+  std::vector<float> a(4), b(4);
+  pool.read_row(id, 0, a);
+  pool.read_row(copy, 0, b);
+  for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(a[c], b[c]);
+  std::vector<float> row(4, 0.5f);
+  pool.write_row(copy, 1, row);  // private copy accepts writes
+  pool.free(copy);
+  pool.free(id);
+  pool.free(id);
+  EXPECT_EQ(pool.free_blocks(), 4u);
+}
+
 TEST(KvBlockPool, StorageAccounting) {
   EXPECT_EQ(kv_bits_per_entry(KvQuantMode::kFp32), 32u);
   EXPECT_EQ(kv_bits_per_entry(KvQuantMode::kInt8), 8u);
@@ -251,6 +321,116 @@ TEST(PagedKvCache, Fp32GatherMatchesDenseCacheBitwise) {
         EXPECT_EQ(gv[t * d + c], dense.values(l)(t, c));
       }
     }
+  }
+}
+
+TEST(PagedKvCache, MapSharedAliasesBlocksAndCopiesOnWrite) {
+  const std::size_t n_layers = 2, d = 8, bs = 4;
+  KvBlockPool pool(32, bs, d);
+  PagedKvCache donor(pool, n_layers, 16);
+  Rng rng = make_rng(11);
+  for (std::size_t t = 0; t < bs; ++t) {
+    donor.advance();
+    for (std::size_t l = 0; l < n_layers; ++l) {
+      donor.append(l, random_row(rng, d), random_row(rng, d));
+    }
+  }
+  const KvBlockColumn col = donor.block_column(0);
+  const std::size_t baseline = pool.blocks_in_use();
+
+  PagedKvCache reader(pool, n_layers, 16);
+  reader.map_shared(std::span<const KvBlockColumn>(&col, 1), bs);
+  EXPECT_EQ(reader.length(), bs);
+  EXPECT_EQ(pool.blocks_in_use(), baseline);  // aliased, not copied
+  EXPECT_EQ(pool.ref_count(col.k[0]), 2u);
+
+  // Shared reads are bitwise identical to the donor's.
+  std::vector<float> dk(bs * d), dv(bs * d), rk(bs * d), rv(bs * d);
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    donor.gather(l, dk, dv);
+    reader.gather(l, rk, rv);
+    EXPECT_EQ(dk, rk);
+    EXPECT_EQ(dv, rv);
+  }
+
+  // Growing past the shared prefix allocates a private column — no copy.
+  reader.advance();
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    reader.append(l, random_row(rng, d), random_row(rng, d));
+  }
+  EXPECT_EQ(pool.ref_count(col.k[0]), 2u);  // still aliased
+
+  // Truncating into the shared block and re-advancing copy-on-writes it:
+  // the donor's block is untouched and the reader owns a private copy.
+  reader.truncate(2);
+  EXPECT_EQ(reader.blocks_needed_for_next(), 2 * n_layers);  // all shared
+  reader.advance();
+  EXPECT_EQ(pool.ref_count(col.k[0]), 1u);  // donor's copy only
+  const auto fresh = random_row(rng, d);
+  for (std::size_t l = 0; l < n_layers; ++l) reader.append(l, fresh, fresh);
+  donor.gather(0, dk, dv);  // donor sees its original rows
+  reader.gather(0, rk, rv);
+  for (std::size_t i = 0; i < 2 * d; ++i) {
+    EXPECT_EQ(rk[i], dk[i]);  // the copied prefix is bitwise preserved
+    EXPECT_EQ(rv[i], dv[i]);
+  }
+  for (std::size_t c = 0; c < d; ++c) {
+    EXPECT_EQ(rk[2 * d + c], fresh[c]);  // private write landed
+    EXPECT_NE(dk[2 * d + c], fresh[c]);  // ...without touching the donor
+  }
+
+  reader.clear();
+  EXPECT_EQ(pool.blocks_in_use(), baseline);  // nothing leaked either way
+}
+
+TEST(PagedKvCache, MidBlockTruncateThenReadvanceIsDeterministicQuantized) {
+  // Satellite: rolling a quantized cache back to a mid-block boundary and
+  // re-advancing must be a pure function of the op sequence — two identical
+  // runs read back bitwise-identical values — and the grow-only block scale
+  // survives the rollback (truncate never shrinks it).
+  for (const KvQuantMode mode : {KvQuantMode::kInt8, KvQuantMode::kLog2}) {
+    const std::size_t d = 4, bs = 4;
+    auto run = [&](std::vector<float>* scale_trace) {
+      KvBlockPool pool(8, bs, d, mode);
+      PagedKvCache cache(pool, 1, 8);
+      Rng rng = make_rng(13);
+      // Six rows: row 3 carries a deliberately large magnitude so the
+      // block scale ratchets up before the rollback.
+      std::vector<std::vector<float>> rows;
+      for (std::size_t t = 0; t < 6; ++t) {
+        rows.push_back(random_row(rng, d, t == 3 ? 8.0f : 1.0f));
+      }
+      for (std::size_t t = 0; t < 6; ++t) {
+        cache.advance();
+        cache.append(0, rows[t], rows[t]);
+      }
+      const KvBlockPool::BlockId block0 = cache.block_column(0).k[0];
+      const float scale_before = pool.block_scale(block0);
+      cache.truncate(2);  // mid-block: the first column survives
+      const float scale_after = pool.block_scale(block0);
+      if (scale_trace != nullptr) {
+        scale_trace->push_back(scale_before);
+        scale_trace->push_back(scale_after);
+      }
+      // Re-advance with different data over the rolled-back positions.
+      for (std::size_t t = 2; t < 6; ++t) {
+        const auto row = random_row(rng, d, 1.0f);
+        cache.advance();
+        cache.append(0, row, row);
+      }
+      std::vector<float> k(6 * d), v(6 * d);
+      cache.gather(0, k, v);
+      k.insert(k.end(), v.begin(), v.end());
+      return k;
+    };
+    std::vector<float> scales;
+    const auto first = run(&scales);
+    const auto second = run(nullptr);
+    EXPECT_EQ(first, second) << "kv mode " << to_string(mode);
+    // The grow-only scale is retained across truncate (re-quantization
+    // after partial rollback happens under the ratcheted scale).
+    EXPECT_EQ(scales[0], scales[1]) << "kv mode " << to_string(mode);
+    ASSERT_NE(scales[0], 0.0f);
   }
 }
 

@@ -13,6 +13,7 @@
 #include "eval/perplexity.h"
 #include "eval/schemes.h"
 #include "llm/engine.h"
+#include "reference_decode.h"
 
 namespace opal {
 namespace {
@@ -33,40 +34,6 @@ ServingConfig scfg(std::size_t max_batch, std::size_t n_threads,
   cfg.n_threads = n_threads;
   cfg.kv_pool_blocks = kv_pool_blocks;
   return cfg;
-}
-
-struct Decoded {
-  std::vector<std::size_t> tokens;
-  // logits[p] = logits observed after feeding tokens[p].
-  std::vector<std::vector<float>> logits;
-};
-
-/// Single-sequence greedy reference with the same feeding rule as
-/// ServingEngine: feed every known token; once all are fed, extend greedily
-/// until prompt + max_new tokens exist. The final generated token is pure
-/// output and is never fed back.
-Decoded reference_decode(const std::shared_ptr<const PreparedModel>& model,
-                         std::vector<std::size_t> prompt,
-                         std::size_t max_new) {
-  InferenceEngine engine(model);
-  Decoded out;
-  out.tokens = std::move(prompt);
-  const std::size_t target = out.tokens.size() + max_new;
-  std::size_t fed = 0;
-  while (fed < out.tokens.size()) {
-    const auto logits = engine.step(out.tokens[fed]);
-    out.logits.emplace_back(logits.begin(), logits.end());
-    ++fed;
-    if (fed == out.tokens.size() && out.tokens.size() < target) {
-      std::size_t best = 0;
-      for (std::size_t i = 1; i < logits.size(); ++i) {
-        if (logits[i] > logits[best]) best = i;
-      }
-      out.tokens.push_back(best);
-      if (out.tokens.size() == target) break;
-    }
-  }
-  return out;
 }
 
 struct Captured {
@@ -560,6 +527,13 @@ TEST(ServingEngine, StatsTrackBlocksAndCounters) {
   EXPECT_EQ(end.tokens_decoded, 7u);
   EXPECT_EQ(end.preemptions, 0u);
   EXPECT_EQ(end.evictions, 0u);
+  // The high-water mark outlives the blocks that set it.
+  EXPECT_GE(end.blocks_peak, mid.blocks_in_use);
+  EXPECT_GT(end.blocks_peak, 0u);
+  // No prefix cache configured: its counters stay zero.
+  EXPECT_EQ(end.blocks_reclaimable, 0u);
+  EXPECT_EQ(end.prefix_hits + end.prefix_misses, 0u);
+  EXPECT_EQ(engine.prefix_cache(), nullptr);
 }
 
 TEST(ServingEngine, ReleaseDropsOneHarvestedResult) {
