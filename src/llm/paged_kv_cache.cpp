@@ -182,4 +182,13 @@ std::size_t PagedKvCache::blocks_held() const {
   return held;
 }
 
+void PagedKvCache::append_held_block_ids(
+    std::vector<KvBlockPool::BlockId>& out) const {
+  for (const auto* tables : {&k_blocks_, &v_blocks_}) {
+    for (const auto& blocks : *tables) {
+      out.insert(out.end(), blocks.begin(), blocks.end());
+    }
+  }
+}
+
 }  // namespace opal

@@ -124,7 +124,11 @@ void ServingEngine::maybe_cache_prefix(const Sequence& seq) {
   const PagedKvCache* cache = seq.state->paged_cache();
   if (cache == nullptr) return;
   const std::size_t bs = model_->config().kv_block_size;
-  const std::size_t aligned = (seq.fed / bs) * bs;  // full columns only
+  // Full columns only, capped at the canonical watermark: columns at or
+  // past a quantized mid-block truncation would index KV that is not a
+  // pure function of the token prefix (see Sequence::non_canonical_from).
+  const std::size_t aligned =
+      std::min((seq.fed / bs) * bs, seq.non_canonical_from);
   if (aligned == 0) return;
   prefix_cache_->insert(seq.result.tokens, aligned, *cache);
 }
@@ -133,6 +137,8 @@ void ServingEngine::release_sequence_kv(Sequence& seq) {
   maybe_cache_prefix(seq);
   seq.state.reset();
   seq.fed = 0;
+  // Full recompute replays from scratch, so the rebuilt KV is canonical.
+  seq.non_canonical_from = Sequence::kCanonical;
 }
 
 void ServingEngine::admit_from_queue() {
@@ -154,12 +160,32 @@ void ServingEngine::admit_from_queue() {
         head.state =
             std::make_unique<SequenceState>(model_->make_sequence(*kv_pool_));
         restore_cached_prefix(head);
+      } else if (head.downgraded && head.state->blocks_held() == 0) {
+        // A downgraded head whose adoption was dropped on an earlier
+        // failed attempt: retry the restore — the entries may still be
+        // cached, and adoption consumes no free blocks.
+        restore_cached_prefix(head);
       }
-      const std::size_t need = blocks_needed(head);
-      if (!ensure_free_blocks(planned + need)) break;  // head-of-line
+      std::size_t need = blocks_needed(head);
+      if (!ensure_free_blocks(planned + need)) {
+        // A plain head keeps its adopted prefix and waits — the
+        // references protect the matched entries until admission
+        // (reclaim_queued_prefix downgrades it under extreme pressure).
+        // A downgraded head must not hold its re-adoption through the
+        // failure: it would shield the very entries the reclaim pass
+        // above needed and recreate the exact shortfall its downgrade
+        // resolved, forever. Drop the adoption and retry once with those
+        // entries reclaimable.
+        if (!head.downgraded || head.fed == 0) break;  // head-of-line
+        head.state->reset();
+        head.fed = 0;
+        need = blocks_needed(head);
+        if (!ensure_free_blocks(planned + need)) break;
+      }
       planned += need;
       Sequence seq = std::move(queue_.front());
       queue_.pop_front();
+      seq.downgraded = false;
       seq.result.status = RequestStatus::kRunning;
       batch_.push_back(std::move(seq));
     }
@@ -175,6 +201,7 @@ void ServingEngine::admit_from_queue() {
 bool ServingEngine::reclaim_queued_prefix() {
   for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
     if (it->state != nullptr && it->state->blocks_held() > 0) {
+      it->downgraded = true;  // must not hold a re-adoption through failure
       release_sequence_kv(*it);
       ++stat_preemptions_;
       return true;
@@ -200,10 +227,23 @@ bool ServingEngine::ensure_kv_capacity() {
       // (Our own reclaimable cache entries are already gone: a cached
       // block that survived ensure_free_blocks is held by a live
       // sequence of ours, whose path references count under `ours`.)
-      std::size_t ours = batch_.front().state->blocks_held();
-      for (const auto& seq : queue_) {
-        if (seq.state != nullptr) ours += seq.state->blocks_held();
+      // Count distinct blocks: with prefix sharing the same physical
+      // block can sit in several of our sequences' tables, and summing
+      // blocks_held() would inflate `ours` past blocks_in_use() and
+      // misread a sibling engine's transient hold as an unservable pool.
+      std::vector<KvBlockPool::BlockId> held;
+      if (const PagedKvCache* cache = batch_.front().state->paged_cache()) {
+        cache->append_held_block_ids(held);
       }
+      for (const auto& seq : queue_) {
+        if (seq.state == nullptr) continue;
+        if (const PagedKvCache* cache = seq.state->paged_cache()) {
+          cache->append_held_block_ids(held);
+        }
+      }
+      std::sort(held.begin(), held.end());
+      const std::size_t ours = static_cast<std::size_t>(
+          std::unique(held.begin(), held.end()) - held.begin());
       if (kv_pool_->blocks_in_use() > ours) return false;
       // The pool itself is too small for this sequence: retire it as
       // kEvicted (forward-progress guarantee for private pools).
@@ -246,16 +286,34 @@ ServingEngine::Sequence* ServingEngine::find_running(RequestId id) {
 void ServingEngine::preempt(RequestId id, std::size_t keep_positions) {
   Sequence* seq = find_running(id);
   require(seq != nullptr, "ServingEngine::preempt: request is not running");
-  // Index the full columns first either way: blocks the truncate below
-  // releases stay reclaimable instead of vanishing, and a keep-0 replay
-  // restores them as a prefix hit.
-  maybe_cache_prefix(*seq);
   if (keep_positions == 0) {
     // Full preemption releases every KV block (the point of preempting
-    // under memory pressure); readmission recreates the state.
-    seq->state.reset();
+    // under memory pressure); the full columns are indexed first so a
+    // replay restores them as a prefix hit, and readmission recreates the
+    // state.
+    release_sequence_kv(*seq);
   } else {
+    // Index the full columns before truncating: blocks the truncate below
+    // releases stay reclaimable instead of vanishing. The columns indexed
+    // here predate the truncation, so they are canonical in every mode.
+    maybe_cache_prefix(*seq);
     seq->state->truncate(keep_positions);  // throws if keep > position
+    const std::size_t bs = model_->config().kv_block_size;
+    if (keep_positions % bs != 0) {
+      if (model_->config().kv_mode != KvQuantMode::kFp32) {
+        // The partially-kept boundary block retains the grow-only scale
+        // its discarded rows produced, so everything re-decoded from this
+        // block on is no longer the pure function of the token prefix the
+        // cache requires — fence it off from future indexing.
+        seq->non_canonical_from =
+            std::min(seq->non_canonical_from, (keep_positions / bs) * bs);
+      }
+    } else if (keep_positions <= seq->non_canonical_from) {
+      // A block-aligned truncate at or below the watermark discards every
+      // tainted block; the replay from here reads only canonical rows, so
+      // the sequence is a pure function of the token prefix again.
+      seq->non_canonical_from = Sequence::kCanonical;
+    }
   }
   seq->fed = keep_positions;  // replay the rest on readmission
   seq->result.status = RequestStatus::kQueued;

@@ -54,6 +54,10 @@
 // every position (evaluate_perplexity_batched does). Outputs are bitwise
 // identical to a cache-off run in every kv_mode for block-aligned sharing,
 // since a cached block holds exactly the codes a replay would recompute.
+// The one way quantized KV could break that purity — preempt(id, keep>0)
+// truncating mid-block, which leaves the boundary block's grow-only scale
+// reflecting discarded rows — is fenced off: columns at or past such a
+// truncation are never indexed (see Sequence::non_canonical_from).
 #pragma once
 
 #include <cstddef>
@@ -166,7 +170,10 @@ class ServingEngine {
   /// slightly from an uninterrupted run — prefer keep_positions == 0 when
   /// strict reproducibility matters there. With the prefix cache on, the
   /// sequence's full block columns are indexed before anything is released,
-  /// so replay typically restores them as a cache hit.
+  /// so replay typically restores them as a cache hit; columns at or past a
+  /// mid-block truncation boundary in a quantized mode are excluded from
+  /// indexing (they are no longer a pure function of the token prefix), so
+  /// the cache itself stays exact for unrelated sharers.
   void preempt(RequestId id, std::size_t keep_positions = 0);
 
   /// Snapshot of a request's current result (returned by value: step(),
@@ -251,6 +258,23 @@ class ServingEngine {
     // observer throwing on the finishing step cannot strand a completed
     // sequence in the batch and have the next step feed past tokens.end().
     bool done = false;
+    // Set when reclaim_queued_prefix downgrades this queued sequence to
+    // full recompute. A downgraded head still re-adopts its cached prefix
+    // optimistically at admission (the entries often survive until
+    // pressure clears), but must not hold the adoption through a failed
+    // capacity check — admit_from_queue drops it and retries — or it
+    // would re-pin the very entries it just gave back, fail the same
+    // check, downgrade again, and loop forever. Cleared on admission.
+    bool downgraded = false;
+    // First position (block-aligned) whose KV is no longer a pure function
+    // of the token prefix: a keep>0 preemption that truncated mid-block in
+    // a quantized kv_mode leaves the boundary block with the grow-only
+    // scale its discarded rows produced, which taints every re-decoded
+    // position after it. maybe_cache_prefix never indexes columns at or
+    // past this watermark; reset when the KV is released for full
+    // recompute (replay from scratch is canonical again).
+    static constexpr std::size_t kCanonical = static_cast<std::size_t>(-1);
+    std::size_t non_canonical_from = kCanonical;
     std::unique_ptr<SequenceState> state;  // kept across preemption
   };
 

@@ -151,6 +151,33 @@ TEST(PrefixCache, ReclaimEvictsLruUnreferencedLeavesOnly) {
   EXPECT_EQ(pool.blocks_in_use(), 0u);
 }
 
+TEST(PrefixCache, HeldBlockIdsCountDistinctAcrossSharers) {
+  const std::size_t n_layers = 1, d = 4, bs = 4;
+  KvBlockPool pool(16, bs, d);
+  PrefixCache pc(pool, n_layers);
+  const std::vector<std::size_t> tokens = {1, 2, 3, 4, 5, 6, 7, 8};
+  PagedKvCache donor(pool, n_layers, 8);
+  fill_from_tokens(donor, tokens, d);
+  pc.insert(tokens, 8, donor);
+
+  PagedKvCache reader(pool, n_layers, 8);
+  const auto match = pc.lookup(tokens, 8);
+  reader.map_shared(match.columns, match.positions);
+
+  // Both sequences hold the same 4 physical blocks: the naive blocks_held
+  // sum counts them twice, while distinct ids match the pool's usage (the
+  // accounting ServingEngine's shared-pool stall heuristic relies on).
+  std::vector<KvBlockPool::BlockId> ids;
+  donor.append_held_block_ids(ids);
+  reader.append_held_block_ids(ids);
+  EXPECT_EQ(ids.size(), donor.blocks_held() + reader.blocks_held());
+  EXPECT_EQ(ids.size(), 8u);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  EXPECT_EQ(ids.size(), 4u);
+  EXPECT_EQ(pool.blocks_in_use(), 4u);
+}
+
 TEST(PrefixCache, DestructorUnpinsEvenWhileReferenced) {
   const std::size_t n_layers = 1, d = 4, bs = 4;
   KvBlockPool pool(8, bs, d);
@@ -389,6 +416,167 @@ TEST(PrefixCacheServing, PressurePreemptionStaysLosslessWithCacheOn) {
   }
   EXPECT_EQ(engine.stats().blocks_in_use,
             engine.stats().prefix_cached_blocks);
+}
+
+TEST(PrefixCacheServing, AdmissionDoesNotLivelockWhenSiblingHoldsTheSlack) {
+  // Regression: the queue head adopts a cached prefix that, together with a
+  // sibling engine's column, consumes the whole shared pool. Admission
+  // finds no free column, reclaim finds nothing evictable (every cached
+  // entry sits on the head's adopted path), and downgrading the head used
+  // to be undone by an immediate re-adoption on the next admission attempt
+  // — step() spun forever instead of making progress or stalling.
+  EngineConfig cfg;
+  cfg.max_seq_len = 16;
+  cfg.kv_block_size = 4;
+  auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+  // 3 block columns: 2 for the warmed prefix, 1 for the sibling engine.
+  auto pool = std::make_shared<KvBlockPool>(12, 4, tiny_config().d_model);
+  ServingEngine a(model, serving_config(1, true, pool));
+  ServingEngine b(model, serving_config(1, false, pool));
+
+  const auto prefix = shared_prefix(8);
+  const RequestId warm = a.submit(Request{prefix, 0});
+  a.run();  // caches the 2 prefix columns (8 blocks, reclaimable)
+  EXPECT_EQ(a.result(warm).status, RequestStatus::kFinished);
+  EXPECT_EQ(a.stats().prefix_cached_blocks, 8u);
+
+  const RequestId rb = b.submit(Request{{2, 7}, 1});
+  EXPECT_EQ(b.step(), 1u);  // the sibling takes the last free column
+  EXPECT_EQ(pool->free_blocks(), 0u);
+
+  auto prompt = prefix;
+  prompt.push_back(60);
+  const RequestId ra = a.submit(Request{prompt, 3});
+  // Pre-fix this call never returned. Now the head is downgraded once to
+  // full recompute, its formerly adopted entries become reclaimable, and
+  // admission proceeds.
+  EXPECT_EQ(a.step(), 1u);
+  EXPECT_GE(a.stats().preemptions, 1u);  // the downgrade
+  a.run();  // decodes until A needs the column B holds, then stalls
+  EXPECT_EQ(a.result(ra).status, RequestStatus::kRunning);
+  EXPECT_EQ(a.stats().evictions, 0u);
+
+  b.run();  // the sibling drains and returns its column
+  EXPECT_EQ(b.result(rb).status, RequestStatus::kFinished);
+  a.run();  // A resumes where it stalled
+  EXPECT_EQ(a.result(ra).status, RequestStatus::kFinished);
+  EXPECT_EQ(a.result(ra).tokens, reference_tokens(model, prompt, 3));
+  EXPECT_EQ(a.stats().evictions, 0u);
+}
+
+TEST(PrefixCacheServing, DowngradedSequenceStillHitsTheCacheOncePressureClears) {
+  // A queued sequence whose kept prefix is reclaimed under pressure
+  // (downgraded to full recompute) re-adopts its cached prefix at
+  // admission once the pressure has cleared: the downgrade only forbids
+  // holding a re-adoption through a failed capacity check, it is not a
+  // permanent opt-out of the cache.
+  EngineConfig cfg;
+  cfg.max_seq_len = 32;
+  cfg.kv_block_size = 4;
+  auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+  ServingConfig scfg = serving_config(2, true);
+  scfg.kv_pool_blocks = 16;  // 4 block columns
+  ServingEngine engine(model, scfg);
+
+  const std::vector<std::size_t> prompt_a = {3, 1, 4, 1};
+  const auto prompt_b = shared_prefix(8);
+  const RequestId ra = engine.submit(Request{prompt_a, 8});
+  const RequestId rb = engine.submit(Request{prompt_b, 2});
+  for (int i = 0; i < 8; ++i) engine.step();  // both fill 2 columns each
+  // B is preempted keeping its full prefix; its columns are also indexed.
+  engine.preempt(rb, 8);
+  // A now needs a third column: the pool is exhausted, B's kept prefix is
+  // reclaimed (B downgraded), and A runs to completion.
+  engine.run();
+  EXPECT_EQ(engine.result(ra).status, RequestStatus::kFinished);
+  EXPECT_EQ(engine.result(rb).status, RequestStatus::kFinished);
+  EXPECT_EQ(engine.result(ra).tokens, reference_tokens(model, prompt_a, 8));
+  EXPECT_EQ(engine.result(rb).tokens, reference_tokens(model, prompt_b, 2));
+  // B's readmission found free capacity and restored its cached prefix —
+  // the downgrade did not permanently silence the cache for it.
+  EXPECT_EQ(engine.stats().prefix_hits, 1u);
+  EXPECT_GT(engine.stats().prefix_hit_tokens, 0u);
+  EXPECT_EQ(engine.stats().evictions, 0u);
+  EXPECT_EQ(engine.stats().preemptions, 2u);  // manual + downgrade
+}
+
+TEST(PrefixCacheServing, MidBlockKeepPreemptionNeverPoisonsTheCache) {
+  // A keep>0 preemption that truncates mid-block in a quantized mode
+  // leaves the boundary block's grow-only scale reflecting its discarded
+  // rows, so every position the replay re-decodes after it is not the pure
+  // function of the token prefix the cache requires. Such columns must
+  // never be indexed: a later request sharing the longer history has to
+  // decode exactly like a cache-off run.
+  for (const KvQuantMode mode : {KvQuantMode::kInt8, KvQuantMode::kLog2}) {
+    EngineConfig cfg;
+    cfg.max_seq_len = 32;
+    cfg.kv_block_size = 4;
+    cfg.kv_mode = mode;
+    auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+    ServingEngine engine(model, serving_config(2, true));
+
+    const auto prompt = shared_prefix(10);
+    const RequestId first = engine.submit(Request{prompt, 6});
+    for (int i = 0; i < 9; ++i) engine.step();
+    engine.preempt(first, 6);  // mid-block: block 1 covers positions 4..7
+    engine.run();
+    ASSERT_EQ(engine.result(first).status, RequestStatus::kFinished);
+    const auto full = engine.result(first).tokens;  // 16 tokens, 15 fed
+
+    // The two columns indexed at preempt time predate the truncation and
+    // stay cached; everything the replay recomputed past the position-4
+    // watermark must not be indexed at finish, despite 15 fed positions.
+    const auto match = engine.prefix_cache()->lookup(full, full.size());
+    EXPECT_LE(match.positions, 8u) << to_string(mode);
+
+    // A follow-up over the full 16-token history decodes bitwise like a
+    // cache-off engine: nothing poisoned is served from the cache.
+    const RequestId second = engine.submit(Request{full, 4});
+    engine.run();
+    ServingEngine plain(model, serving_config(2, false));
+    const RequestId ref = plain.submit(Request{full, 4});
+    plain.run();
+    EXPECT_EQ(engine.result(second).tokens, plain.result(ref).tokens)
+        << to_string(mode);
+  }
+}
+
+TEST(PrefixCacheServing, BlockAlignedRetruncationRestoresCacheability) {
+  // A later block-aligned preempt at (or below) the watermark discards
+  // every tainted block, so the replayed sequence is a pure function of
+  // the token prefix again: the watermark resets and the finish-time
+  // insert indexes the whole replayed history — without losing exactness.
+  for (const KvQuantMode mode : {KvQuantMode::kInt8, KvQuantMode::kLog2}) {
+    EngineConfig cfg;
+    cfg.max_seq_len = 32;
+    cfg.kv_block_size = 4;
+    cfg.kv_mode = mode;
+    auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+    ServingEngine engine(model, serving_config(2, true));
+
+    const auto prompt = shared_prefix(10);
+    const RequestId first = engine.submit(Request{prompt, 6});
+    for (int i = 0; i < 9; ++i) engine.step();
+    engine.preempt(first, 6);  // mid-block: taints from position 4
+    EXPECT_EQ(engine.step(), 1u);  // readmitted, decodes one token
+    engine.preempt(first, 4);  // block-aligned at the watermark: de-taints
+    engine.run();
+    ASSERT_EQ(engine.result(first).status, RequestStatus::kFinished);
+    const auto full = engine.result(first).tokens;  // 16 tokens, 15 fed
+
+    // All 12 aligned positions of the replayed history are indexed again.
+    const auto match = engine.prefix_cache()->lookup(full, full.size());
+    EXPECT_EQ(match.positions, 12u) << to_string(mode);
+
+    // And the cache stays exact for a follow-up over the full history.
+    const RequestId second = engine.submit(Request{full, 4});
+    engine.run();
+    ServingEngine plain(model, serving_config(2, false));
+    const RequestId ref = plain.submit(Request{full, 4});
+    plain.run();
+    EXPECT_EQ(engine.result(second).tokens, plain.result(ref).tokens)
+        << to_string(mode);
+  }
 }
 
 }  // namespace
