@@ -31,6 +31,9 @@ int main() {
   ServingConfig serving_cfg;
   serving_cfg.max_batch = 4;
   serving_cfg.enable_prefix_cache = true;
+  // Prompts prefill in whole 8-token chunks (one KV-prefix pass per layer
+  // per chunk instead of per token) — bitwise identical to token-by-token.
+  serving_cfg.prefill_chunk_tokens = 8;
   ServingEngine engine(teacher, serving_cfg);
 
   // Four prompts sharing a 16-token system prefix (two KV block columns):

@@ -89,6 +89,11 @@ std::vector<double> evaluate_perplexity_batched(
   constexpr std::size_t kMaxConcurrentStreams = 16;
   cfg.max_batch = std::min(streams.size(), kMaxConcurrentStreams);
   cfg.n_threads = n_threads;
+  // Scoring is pure prefill (every token is known up front), the ideal
+  // chunked-prefill consumer: feeding whole chunks per step is bitwise
+  // identical to token-by-token stepping while visiting each layer's KV
+  // prefix once per chunk instead of once per token.
+  cfg.prefill_chunk_tokens = 16;
   ServingEngine engine(model, cfg);
 
   std::vector<double> ce(streams.size(), 0.0);

@@ -282,6 +282,46 @@ void KvBlockPool::read_row(BlockId id, std::size_t row,
   }
 }
 
+std::span<const float> KvBlockPool::block_data(BlockId id) const {
+  check_block(id, "KvBlockPool::block_data: bad or free block");
+  require(mode_ == KvQuantMode::kFp32,
+          "KvBlockPool::block_data: raw block views are fp32-only "
+          "(quantized entries must be read through read_row)");
+  return std::span<const float>(fdata_).subspan(id * block_size_ * d_model_,
+                                                block_size_ * d_model_);
+}
+
+void KvBlockPool::register_reclaimer(const void* owner,
+                                     CacheReclaimer reclaim) {
+  require(owner != nullptr && reclaim != nullptr,
+          "KvBlockPool::register_reclaimer: null owner or callback");
+  for (const auto& [existing, fn] : reclaimers_) {
+    require(existing != owner,
+            "KvBlockPool::register_reclaimer: owner already registered");
+  }
+  reclaimers_.emplace_back(owner, std::move(reclaim));
+}
+
+void KvBlockPool::unregister_reclaimer(const void* owner) {
+  for (auto it = reclaimers_.begin(); it != reclaimers_.end(); ++it) {
+    if (it->first == owner) {
+      reclaimers_.erase(it);
+      return;
+    }
+  }
+}
+
+std::size_t KvBlockPool::request_reclaim(std::size_t min_blocks,
+                                         const void* skip) {
+  std::size_t freed = 0;
+  for (const auto& [owner, reclaim] : reclaimers_) {
+    if (freed >= min_blocks) break;
+    if (owner == skip) continue;
+    freed += reclaim(min_blocks - freed);
+  }
+  return freed;
+}
+
 float KvBlockPool::block_scale(BlockId id) const {
   check_block(id, "KvBlockPool::block_scale: bad or free block");
   return scales_[id];

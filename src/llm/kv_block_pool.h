@@ -44,9 +44,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace opal {
@@ -134,6 +136,14 @@ class KvBlockPool {
   /// mode this returns the written bits verbatim.
   void read_row(BlockId id, std::size_t row, std::span<float> out) const;
 
+  /// Raw storage of an in-use block as a [block_size x d_model] row-major
+  /// span — the zero-copy attend path for fp32 pools, where stored entries
+  /// ARE the written floats (no per-row dequantization exists to skip).
+  /// kFp32 mode only; quantized modes throw (their raw bytes are codes, not
+  /// floats — read through read_row). The span stays valid while the block
+  /// is held; rows past rows_written(id) are stale or zero.
+  [[nodiscard]] std::span<const float> block_data(BlockId id) const;
+
   /// Current block scale: amax (kInt8), exp2 exponent as a float (kLog2),
   /// or 0 (kFp32). Exposed for tests and accounting.
   [[nodiscard]] float block_scale(BlockId id) const;
@@ -144,6 +154,23 @@ class KvBlockPool {
   [[nodiscard]] std::size_t storage_bytes() const {
     return n_blocks_ * bytes_per_block();
   }
+
+  /// Cross-engine cache reclaim. A serving layer that pins blocks in a
+  /// prefix cache registers a reclaimer (keyed by `owner`, typically the
+  /// engine's `this`); when ANY sharer of the pool runs short, it calls
+  /// request_reclaim(), which asks every registered reclaimer except `skip`
+  /// to release unreferenced cached blocks until `min_blocks` were freed.
+  /// This is what lets an idle engine's cached blocks flow to a busy
+  /// sibling without the caller manually driving reclaim() on each cache.
+  /// Like every other pool operation, registration and reclaim requests
+  /// must be externally serialized with all other pool use; a reclaimer
+  /// callback must not call back into request_reclaim().
+  using CacheReclaimer = std::function<std::size_t(std::size_t min_blocks)>;
+  void register_reclaimer(const void* owner, CacheReclaimer reclaim);
+  void unregister_reclaimer(const void* owner);
+  /// Returns the number of blocks the invoked reclaimers reported freed.
+  std::size_t request_reclaim(std::size_t min_blocks,
+                              const void* skip = nullptr);
 
  private:
   void check_block(BlockId id, const char* what) const;
@@ -160,6 +187,7 @@ class KvBlockPool {
   std::vector<BlockId> free_list_;  // LIFO free stack
   std::vector<std::uint32_t> refs_;    // holders per block; 0 = free
   std::vector<std::uint8_t> cached_;   // indexed by a PrefixCache
+  std::vector<std::pair<const void*, CacheReclaimer>> reclaimers_;
   std::size_t reclaimable_ = 0;        // cached && refcount == 1
   std::size_t peak_in_use_ = 0;
 };

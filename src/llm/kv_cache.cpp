@@ -21,16 +21,28 @@ void KvCache::advance() {
   ++len_;
 }
 
+void KvCache::advance_by(std::size_t n) {
+  require(len_ + n <= max_seq_len_,
+          "KvCache::advance_by: chunk exceeds max_seq_len");
+  len_ += n;
+}
+
 void KvCache::append(std::size_t layer, std::span<const float> k,
                      std::span<const float> v) {
-  require(layer < keys_.size(), "KvCache::append: bad layer");
-  require(k.size() == d_model_ && v.size() == d_model_,
-          "KvCache::append: dim mismatch");
   // advance() enforces len_ <= max_seq_len_, so the write below is in
   // bounds whenever a step is open.
   require(len_ >= 1, "KvCache::append: call advance() first");
-  std::copy(k.begin(), k.end(), keys_[layer].row(len_ - 1).begin());
-  std::copy(v.begin(), v.end(), values_[layer].row(len_ - 1).begin());
+  write_at(layer, len_ - 1, k, v);
+}
+
+void KvCache::write_at(std::size_t layer, std::size_t pos,
+                       std::span<const float> k, std::span<const float> v) {
+  require(layer < keys_.size(), "KvCache::write_at: bad layer");
+  require(k.size() == d_model_ && v.size() == d_model_,
+          "KvCache::write_at: dim mismatch");
+  require(pos < len_, "KvCache::write_at: position not opened by advance");
+  std::copy(k.begin(), k.end(), keys_[layer].row(pos).begin());
+  std::copy(v.begin(), v.end(), values_[layer].row(pos).begin());
 }
 
 void KvCache::truncate(std::size_t len) {

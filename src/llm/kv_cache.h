@@ -20,12 +20,24 @@ class KvCache {
   /// (explicit error instead of an out-of-range write).
   void advance();
 
+  /// Opens `n` time steps at once (chunked prefill): positions
+  /// [length(), length()+n) become writable through write_at(). Throws like
+  /// advance() when the result would exceed max_seq_len.
+  void advance_by(std::size_t n);
+
   /// Writes this step's key and value vectors for `layer` at the position
   /// opened by the last advance(). Throws on bad layer, dimension mismatch,
   /// or a missing advance(); advance() itself caps the write position at
   /// max_seq_len, so append can never write out of range.
   void append(std::size_t layer, std::span<const float> k,
               std::span<const float> v);
+
+  /// Writes `layer`'s key/value vectors at an explicit opened position
+  /// (pos < length()). append() is write_at at length()-1; chunked prefill
+  /// uses write_at directly because it opens a whole chunk with
+  /// advance_by() and then fills its positions layer by layer.
+  void write_at(std::size_t layer, std::size_t pos, std::span<const float> k,
+                std::span<const float> v);
 
   /// Rolls the cache back to `len` steps (len <= length()); rows at and
   /// past `len` become writable again. Used by scheduler eviction /

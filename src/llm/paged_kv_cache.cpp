@@ -37,54 +37,74 @@ void PagedKvCache::release_from(std::size_t first_block) {
 
 std::size_t PagedKvCache::blocks_needed_for_next() const {
   if (len_ >= max_seq_len_) return 0;  // advance() will throw, not allocate
-  const std::size_t column = len_ / pool_->block_size();
-  if (column >= k_blocks_[0].size()) return 2 * k_blocks_.size();
-  // Mid-column (or reserved): the next append() copy-on-writes any block of
-  // the write column another holder still shares.
-  std::size_t need = 0;
-  for (std::size_t l = 0; l < k_blocks_.size(); ++l) {
-    if (pool_->ref_count(k_blocks_[l][column]) > 1) ++need;
-    if (pool_->ref_count(v_blocks_[l][column]) > 1) ++need;
+  return blocks_needed_for(1);
+}
+
+std::size_t PagedKvCache::blocks_needed_for(std::size_t n) const {
+  require(len_ + n <= max_seq_len_,
+          "PagedKvCache::blocks_needed_for: chunk exceeds max_seq_len");
+  if (n == 0) return 0;
+  const std::size_t bs = pool_->block_size();
+  const std::size_t n_layers = k_blocks_.size();
+  const std::size_t have = k_blocks_[0].size();
+  const std::size_t last_col = (len_ + n - 1) / bs;
+  std::size_t need =
+      last_col + 1 > have ? 2 * n_layers * (last_col + 1 - have) : 0;
+  // Copy-on-write: shared blocks of already-held columns the write range
+  // lands in. Only the first write column can be partially written and
+  // shared; any later held column is a pending reservation (exclusively
+  // owned), so this loop usually inspects at most one column.
+  for (std::size_t col = len_ / bs; col < std::min(have, last_col + 1);
+       ++col) {
+    for (std::size_t l = 0; l < n_layers; ++l) {
+      if (pool_->ref_count(k_blocks_[l][col]) > 1) ++need;
+      if (pool_->ref_count(v_blocks_[l][col]) > 1) ++need;
+    }
   }
   return need;
 }
 
-void PagedKvCache::reserve_next() {
-  require(len_ < max_seq_len_,
-          "PagedKvCache::reserve_next: cache full (length == max_seq_len)");
-  const std::size_t column = len_ / pool_->block_size();
-  if (column >= k_blocks_[0].size()) {
-    const std::size_t need = 2 * k_blocks_.size();
-    if (pool_->free_blocks() < need) {
-      throw KvPoolExhausted(
-          "PagedKvCache: pool cannot supply a new block column");
-    }
-    for (std::size_t l = 0; l < k_blocks_.size(); ++l) {
-      k_blocks_[l].push_back(pool_->allocate());
-      v_blocks_[l].push_back(pool_->allocate());
-    }
-    return;
-  }
-  // Write position lands inside an existing column: restore exclusive
-  // ownership of any still-shared block by cloning its written prefix
-  // (rows [0, row)) into a private block. Check capacity up front so a
-  // throw takes nothing; a partial completion after a concurrent pool
-  // change still leaves a consistent cache (retry finishes the rest).
-  const std::size_t need = blocks_needed_for_next();
+void PagedKvCache::reserve_next() { reserve_for(1); }
+
+void PagedKvCache::reserve_for(std::size_t n) {
+  require(len_ + n <= max_seq_len_,
+          "PagedKvCache::reserve_for: chunk exceeds max_seq_len");
+  if (n == 0) return;
+  // Check capacity up front so a throw takes nothing; a partial completion
+  // after a concurrent pool change still leaves a consistent cache (retry
+  // finishes the rest).
+  const std::size_t need = blocks_needed_for(n);
   if (need == 0) return;
   if (pool_->free_blocks() < need) {
     throw KvPoolExhausted(
-        "PagedKvCache: pool cannot supply copy-on-write blocks");
+        "PagedKvCache: pool cannot supply the reserved chunk");
   }
-  const std::size_t row = len_ % pool_->block_size();
-  for (auto* tables : {&k_blocks_, &v_blocks_}) {
-    for (auto& blocks : *tables) {
-      KvBlockPool::BlockId& slot = blocks[column];
-      if (pool_->ref_count(slot) > 1) {
-        const KvBlockPool::BlockId fresh = pool_->clone_rows(slot, row);
-        pool_->free(slot);
-        slot = fresh;
+  const std::size_t bs = pool_->block_size();
+  const std::size_t n_layers = k_blocks_.size();
+  const std::size_t last_col = (len_ + n - 1) / bs;
+  // Restore exclusive ownership of any still-shared block the write range
+  // lands in by cloning its written-prefix rows into a private block
+  // (copy-on-write); later writes then never touch shared storage.
+  const std::size_t first_col = len_ / bs;
+  for (std::size_t col = first_col;
+       col < std::min(k_blocks_[0].size(), last_col + 1); ++col) {
+    const std::size_t keep_rows = col == first_col ? len_ % bs : 0;
+    for (auto* tables : {&k_blocks_, &v_blocks_}) {
+      for (auto& blocks : *tables) {
+        KvBlockPool::BlockId& slot = blocks[col];
+        if (pool_->ref_count(slot) > 1) {
+          const KvBlockPool::BlockId fresh = pool_->clone_rows(slot,
+                                                               keep_rows);
+          pool_->free(slot);
+          slot = fresh;
+        }
       }
+    }
+  }
+  while (k_blocks_[0].size() < last_col + 1) {
+    for (std::size_t l = 0; l < n_layers; ++l) {
+      k_blocks_[l].push_back(pool_->allocate());
+      v_blocks_[l].push_back(pool_->allocate());
     }
   }
 }
@@ -142,11 +162,25 @@ void PagedKvCache::advance() {
   ++len_;
 }
 
+void PagedKvCache::advance_by(std::size_t n) {
+  require(len_ + n <= max_seq_len_,
+          "PagedKvCache::advance_by: chunk exceeds max_seq_len");
+  reserve_for(n);
+  len_ += n;
+}
+
 void PagedKvCache::append(std::size_t layer, std::span<const float> k,
                           std::span<const float> v) {
-  require(layer < k_blocks_.size(), "PagedKvCache::append: bad layer");
   require(len_ >= 1, "PagedKvCache::append: call advance() first");
-  const std::size_t pos = len_ - 1;
+  write_at(layer, len_ - 1, k, v);
+}
+
+void PagedKvCache::write_at(std::size_t layer, std::size_t pos,
+                            std::span<const float> k,
+                            std::span<const float> v) {
+  require(layer < k_blocks_.size(), "PagedKvCache::write_at: bad layer");
+  require(pos < len_,
+          "PagedKvCache::write_at: position not opened by advance");
   const std::size_t block = pos / pool_->block_size();
   const std::size_t row = pos % pool_->block_size();
   pool_->write_row(k_blocks_[layer][block], row, k);
@@ -162,16 +196,41 @@ void PagedKvCache::truncate(std::size_t len) {
 
 void PagedKvCache::gather(std::size_t layer, std::span<float> k_out,
                           std::span<float> v_out) const {
-  require(layer < k_blocks_.size(), "PagedKvCache::gather: bad layer");
+  gather_range(layer, 0, len_, k_out, v_out);
+}
+
+void PagedKvCache::gather_range(std::size_t layer, std::size_t from,
+                                std::size_t to, std::span<float> k_out,
+                                std::span<float> v_out) const {
+  require(layer < k_blocks_.size(), "PagedKvCache::gather_range: bad layer");
+  require(from <= to && to <= len_,
+          "PagedKvCache::gather_range: bad row range");
   const std::size_t d = pool_->d_model();
-  require(k_out.size() >= len_ * d && v_out.size() >= len_ * d,
-          "PagedKvCache::gather: output spans too small");
+  require(k_out.size() >= to * d && v_out.size() >= to * d,
+          "PagedKvCache::gather_range: output spans too small");
   const std::size_t bs = pool_->block_size();
-  for (std::size_t t = 0; t < len_; ++t) {
+  for (std::size_t t = from; t < to; ++t) {
     pool_->read_row(k_blocks_[layer][t / bs], t % bs,
                     k_out.subspan(t * d, d));
     pool_->read_row(v_blocks_[layer][t / bs], t % bs,
                     v_out.subspan(t * d, d));
+  }
+}
+
+void PagedKvCache::append_block_segments(std::size_t layer, std::size_t len,
+                                         std::vector<KvSegment>& out) const {
+  require(layer < k_blocks_.size(),
+          "PagedKvCache::append_block_segments: bad layer");
+  require(len <= len_,
+          "PagedKvCache::append_block_segments: len exceeds cached length");
+  const std::size_t bs = pool_->block_size();
+  const std::size_t d = pool_->d_model();
+  for (std::size_t col = 0; col * bs < len; ++col) {
+    const std::size_t rows = std::min(bs, len - col * bs);
+    out.push_back(
+        KvSegment{pool_->block_data(k_blocks_[layer][col]).first(rows * d),
+                  pool_->block_data(v_blocks_[layer][col]).first(rows * d),
+                  rows});
   }
 }
 

@@ -31,6 +31,17 @@
 
 namespace opal {
 
+/// One contiguous run of cached KV rows: `rows` consecutive positions of a
+/// single layer, row-major [rows x d_model]. Attention consumes a sequence's
+/// cached prefix as a short list of these — dense caches and gather scratch
+/// yield one segment, fp32 block pools yield one zero-copy segment per block
+/// (spans straight into pool storage, no per-step copy).
+struct KvSegment {
+  std::span<const float> k;
+  std::span<const float> v;
+  std::size_t rows = 0;
+};
+
 class PagedKvCache {
  public:
   /// The cache allocates from (and must not outlive) `pool`.
@@ -63,6 +74,25 @@ class PagedKvCache {
   /// the write position lands in shared blocks, else 0).
   [[nodiscard]] std::size_t blocks_needed_for_next() const;
 
+  /// Blocks an advance_by(n) would take right now: fresh columns covering
+  /// positions [length(), length()+n) plus copy-on-write copies of shared
+  /// blocks the first write position lands in. Requires
+  /// length()+n <= max_seq_len; blocks_needed_for(1) ==
+  /// blocks_needed_for_next().
+  [[nodiscard]] std::size_t blocks_needed_for(std::size_t n) const;
+
+  /// Multi-row reserve_next(): pre-acquires everything advance_by(n) needs
+  /// (all-or-nothing capacity check, idempotent), so a serving layer can
+  /// reserve a whole prefill chunk in its serial phase and the parallel
+  /// decode phase never touches the pool. Throws KvPoolExhausted like
+  /// advance() without taking any block.
+  void reserve_for(std::size_t n);
+
+  /// Opens `n` time steps at once (chunked prefill): positions
+  /// [length(), length()+n) become writable through write_at(). Acquires
+  /// blocks like reserve_for(n) unless already reserved.
+  void advance_by(std::size_t n);
+
   /// Adopts `columns` of full, already-written shared blocks as this
   /// cache's first `n_positions` positions, taking a pool reference on
   /// every block. Requires an empty cache, whole columns
@@ -81,6 +111,15 @@ class PagedKvCache {
   void append(std::size_t layer, std::span<const float> k,
               std::span<const float> v);
 
+  /// Writes `layer`'s key/value vectors at an explicit opened position
+  /// (pos < length()); append() is write_at at length()-1. Chunked prefill
+  /// opens a whole chunk with advance_by() and fills it layer by layer, in
+  /// ascending position order per block — required in quantized modes,
+  /// where a block's grow-only scale must see the same write order a
+  /// token-by-token run would produce.
+  void write_at(std::size_t layer, std::size_t pos, std::span<const float> k,
+                std::span<const float> v);
+
   /// Rolls back to `len` positions and returns every block past the new
   /// boundary (including unused reservations) to the pool.
   void truncate(std::size_t len);
@@ -91,6 +130,22 @@ class PagedKvCache {
   /// least length()*d_model floats; only that prefix is written).
   void gather(std::size_t layer, std::span<float> k_out,
               std::span<float> v_out) const;
+
+  /// Dequantizes only rows [from, to) of `layer` into the same row-major
+  /// layout (row r lands at offset r*d_model of the spans, which must hold
+  /// at least to*d_model floats). Chunked prefill uses this to refresh just
+  /// the block a new row landed in — a quantized write can grow the block
+  /// scale and rescale that block's earlier codes, but never touches other
+  /// blocks — instead of re-gathering the whole prefix per token.
+  void gather_range(std::size_t layer, std::size_t from, std::size_t to,
+                    std::span<float> k_out, std::span<float> v_out) const;
+
+  /// Appends zero-copy segments covering positions [0, len) of `layer` —
+  /// one KvSegment per block, spanning the pool's storage directly. fp32
+  /// pools only (see KvBlockPool::block_data); len <= length(). The spans
+  /// stay valid until a block of the range is released.
+  void append_block_segments(std::size_t layer, std::size_t len,
+                             std::vector<KvSegment>& out) const;
 
   [[nodiscard]] std::size_t length() const { return len_; }
   [[nodiscard]] std::size_t max_seq_len() const { return max_seq_len_; }

@@ -213,16 +213,17 @@ void PreparedModel::maybe_quantize(ActivationSite site,
 }
 
 void PreparedModel::attend(std::size_t l, SequenceState& seq,
-                           std::span<const float> q,
-                           std::span<float> z) const {
+                           std::span<const float> q, std::span<float> z,
+                           std::size_t len) const {
   const auto& cfg = model_->config();
   const std::size_t d_head = cfg.d_head();
   const std::size_t d_model = cfg.d_model;
-  const std::size_t len = seq.position();
-  // Dense states expose the cache rows directly; paged states dequantize
-  // this layer's blocks into the gather scratch. Either way the view is
-  // row-major [len x d_model].
-  const SequenceState::KvLayerView kv = seq.layer_view(l);
+  // The cached prefix [0, len) as row-major segments: dense caches and
+  // quantized gathers yield one contiguous segment, fp32 block pools one
+  // zero-copy segment per block. Iterating segments outer / rows inner
+  // visits positions 0..len-1 in order, so the arithmetic below is
+  // identical across all three backings.
+  const std::span<const KvSegment> kv = seq.attend_view(l, len);
   const float inv_sqrt_dk = 1.0f / std::sqrt(static_cast<float>(d_head));
 
   std::fill(z.begin(), z.end(), 0.0f);
@@ -231,33 +232,41 @@ void PreparedModel::attend(std::size_t l, SequenceState& seq,
   for (std::size_t head = 0; head < cfg.n_heads; ++head) {
     const std::size_t base = head * d_head;
     const auto q_head = q.subspan(base, d_head);
-    for (std::size_t t = 0; t < len; ++t) {
-      scores[t] = dot(q_head, kv.keys.subspan(t * d_model + base, d_head)) *
-                  inv_sqrt_dk;
+    std::size_t t = 0;
+    for (const KvSegment& seg : kv) {
+      for (std::size_t r = 0; r < seg.rows; ++r, ++t) {
+        scores[t] =
+            dot(q_head, seg.k.subspan(r * d_model + base, d_head)) *
+            inv_sqrt_dk;
+      }
     }
     auto z_head = z.subspan(base, d_head);
+    auto accumulate = [&](auto&& weight_at) {
+      std::size_t u = 0;
+      for (const KvSegment& seg : kv) {
+        for (std::size_t r = 0; r < seg.rows; ++r, ++u) {
+          const float w = weight_at(u);
+          const auto v_row = seg.v.subspan(r * d_model + base, d_head);
+          for (std::size_t c = 0; c < d_head; ++c) z_head[c] += w * v_row[c];
+        }
+      }
+    };
     if (config_.log2_softmax) {
       const auto codes =
           log2_softmax_unit(scores, Log2SoftmaxConfig{config_.softmax_bits});
-      for (std::size_t t = 0; t < len; ++t) {
-        const float w = exp2i(-static_cast<int>(codes[t]));
-        const auto v_row = kv.values.subspan(t * d_model + base, d_head);
-        for (std::size_t c = 0; c < d_head; ++c) z_head[c] += w * v_row[c];
-      }
+      accumulate([&](std::size_t u) {
+        return exp2i(-static_cast<int>(codes[u]));
+      });
     } else {
       softmax_reference(scores, probs);
-      for (std::size_t t = 0; t < len; ++t) {
-        const float w = probs[t];
-        const auto v_row = kv.values.subspan(t * d_model + base, d_head);
-        for (std::size_t c = 0; c < d_head; ++c) z_head[c] += w * v_row[c];
-      }
+      accumulate([&](std::size_t u) { return probs[u]; });
     }
   }
 }
 
-void PreparedModel::forward_layer(std::size_t l, SequenceState& seq,
-                                  std::span<float> x,
-                                  ActivationRecorder* recorder) const {
+void PreparedModel::forward_token_layer(std::size_t l, SequenceState& seq,
+                                        std::span<float> x, std::size_t pos,
+                                        ActivationRecorder* recorder) const {
   const auto& layer = layers_[l];
   auto maybe_record = [&](RecordSite site, std::span<const float> v) {
     if (recorder != nullptr) recorder->record(l, site, v);
@@ -284,9 +293,9 @@ void PreparedModel::forward_layer(std::size_t l, SequenceState& seq,
   maybe_quantize(ActivationSite::kAttentionInput, q);
   maybe_quantize(ActivationSite::kAttentionInput, k);
   maybe_quantize(ActivationSite::kAttentionInput, v);
-  seq.append_kv(l, k, v);
+  seq.write_kv_at(l, pos, k, v);
 
-  attend(l, seq, q, z);
+  attend(l, seq, q, z, pos + 1);
   maybe_record(RecordSite::kProjIn, z);
   maybe_quantize(ActivationSite::kGeneral, z);
 
@@ -309,6 +318,16 @@ void PreparedModel::forward_layer(std::size_t l, SequenceState& seq,
   for (std::size_t i = 0; i < x.size(); ++i) x[i] += ffn_out[i];
 }
 
+void PreparedModel::finish_logits(SequenceState& seq,
+                                  std::span<const float> x,
+                                  std::span<float> out) const {
+  final_norm_->apply(x, seq.h_);
+  // Tied embedding head: logit[v] = E[v,:] . h.
+  matvec(model_->embedding(), seq.h_, out);
+  const float s = model_->logit_scale();
+  for (auto& v : out) v *= s;
+}
+
 std::span<const float> PreparedModel::step(SequenceState& seq,
                                            std::size_t token,
                                            ActivationRecorder* recorder) const {
@@ -320,16 +339,57 @@ std::span<const float> PreparedModel::step(SequenceState& seq,
   std::copy(emb.begin(), emb.end(), seq.x_.begin());
 
   seq.advance_cache();  // open this step's KV slot for every layer
+  const std::size_t pos = seq.position() - 1;
   std::span<float> x = seq.x_;
   for (std::size_t l = 0; l < cfg.n_layers; ++l) {
-    forward_layer(l, seq, x, recorder);
+    forward_token_layer(l, seq, x, pos, recorder);
   }
 
-  final_norm_->apply(x, seq.h_);
-  // Tied embedding head: logit[v] = E[v,:] . h.
-  matvec(model_->embedding(), seq.h_, seq.logits_);
-  const float s = model_->logit_scale();
-  for (auto& v : seq.logits_) v *= s;
+  finish_logits(seq, x, seq.logits_);
+  return seq.logits_;
+}
+
+std::span<const float> PreparedModel::prefill_chunk(
+    SequenceState& seq, std::span<const std::size_t> tokens,
+    ActivationRecorder* recorder) const {
+  const auto& cfg = model_->config();
+  const std::size_t n = tokens.size();
+  require(n >= 1, "PreparedModel::prefill_chunk: empty chunk");
+  for (const std::size_t token : tokens) {
+    require(token < cfg.vocab,
+            "PreparedModel::prefill_chunk: token out of range");
+  }
+  require(seq.x_.size() == cfg.d_model && seq.logits_.size() == cfg.vocab,
+          "PreparedModel::prefill_chunk: state sized for a different model");
+
+  const std::size_t p0 = seq.position();
+  seq.begin_chunk(n);
+  seq.advance_cache_by(n);  // opens (and reserves) the whole chunk's KV
+  for (std::size_t t = 0; t < n; ++t) {
+    const auto emb = model_->embedding().row(tokens[t]);
+    std::copy(emb.begin(), emb.end(), seq.chunk_x_row(t).begin());
+  }
+
+  // Layer-major sweep: each weight matrix is loaded once per chunk and each
+  // layer's cached prefix is gathered once per chunk, yet every token's ops
+  // run in the token-by-token order *within* its own computation — token t
+  // writes its K/V at p0+t before attending over [0, p0+t], exactly like a
+  // step() at that position — so the results are bitwise identical to n
+  // single steps.
+  for (std::size_t l = 0; l < cfg.n_layers; ++l) {
+    seq.begin_chunk_layer(l, p0);
+    for (std::size_t t = 0; t < n; ++t) {
+      forward_token_layer(l, seq, seq.chunk_x_row(t), p0 + t, recorder);
+    }
+  }
+  seq.end_chunk();
+
+  for (std::size_t t = 0; t < n; ++t) {
+    finish_logits(seq, seq.chunk_x_row(t), seq.chunk_logits_row_mut(t));
+  }
+  // logits() keeps its "most recent decode" meaning for generation.
+  const auto last = seq.chunk_logits_row(n - 1);
+  std::copy(last.begin(), last.end(), seq.logits_.begin());
   return seq.logits_;
 }
 

@@ -116,6 +116,25 @@ class PreparedModel {
   std::span<const float> step(SequenceState& seq, std::size_t token,
                               ActivationRecorder* recorder = nullptr) const;
 
+  /// Chunked prefill: feeds `tokens` — the next known tokens at `seq`'s
+  /// current position — in one multi-token call, processing the chunk layer
+  /// by layer so each weight matrix and each layer's cached KV prefix is
+  /// visited once per chunk instead of once per token. Every per-token
+  /// arithmetic operation (and, in quantized kv_modes, every block-scale
+  /// update and read-back) happens in the same order a token-by-token
+  /// step() loop would produce, so the results — cache contents and all
+  /// chunk logits — are bitwise identical to tokens.size() single steps in
+  /// every kv_mode. Returns the final token's logits (same span as
+  /// logits()); per-position logits are at seq.chunk_logits_row(i).
+  /// Blocks for the whole chunk are acquired up front (all-or-nothing
+  /// KvPoolExhausted on a dry pool, unless reserve_for() pre-acquired
+  /// them). `recorder`, when given, observes activations layer-major
+  /// (layer 0 for all chunk tokens, then layer 1, ...) instead of
+  /// token-major. Const and thread-safe like step().
+  std::span<const float> prefill_chunk(
+      SequenceState& seq, std::span<const std::size_t> tokens,
+      ActivationRecorder* recorder = nullptr) const;
+
   /// Fresh per-sequence state sized for this model (dense KV cache at
   /// config().max_seq_len plus scratch buffers).
   [[nodiscard]] SequenceState make_sequence() const;
@@ -162,10 +181,17 @@ class PreparedModel {
   void finish_construction();
   void prepare_layers(const CalibrationSet* calibration);
   void prepare_layers_gptq(const HessianSet& hessians);
-  void forward_layer(std::size_t l, SequenceState& seq, std::span<float> x,
-                     ActivationRecorder* recorder) const;
-  void attend(std::size_t l, SequenceState& seq,
-              std::span<const float> q, std::span<float> z) const;
+  /// One token through layer `l`: writes its K/V at cache position `pos`
+  /// and attends over [0, pos+1). step() calls it token-major (all layers
+  /// for one token), prefill_chunk layer-major (all chunk tokens for one
+  /// layer); the per-token arithmetic is identical either way.
+  void forward_token_layer(std::size_t l, SequenceState& seq,
+                           std::span<float> x, std::size_t pos,
+                           ActivationRecorder* recorder) const;
+  void attend(std::size_t l, SequenceState& seq, std::span<const float> q,
+              std::span<float> z, std::size_t len) const;
+  void finish_logits(SequenceState& seq, std::span<const float> x,
+                     std::span<float> out) const;
   void maybe_quantize(ActivationSite site, std::span<float> v) const;
 
   const SyntheticModel* model_;

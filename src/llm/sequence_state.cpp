@@ -21,6 +21,7 @@ SequenceState::SequenceState(const ModelConfig& config,
                              std::size_t max_seq_len)
     : max_seq_len_(max_seq_len),
       dense_(std::in_place, config.n_layers, config.d_model, max_seq_len) {
+  segments_.reserve(1);
   init_scratch(config);
 }
 
@@ -32,6 +33,8 @@ SequenceState::SequenceState(const ModelConfig& config,
   paged_.emplace(pool, config.n_layers, max_seq_len);
   gather_k_.resize(max_seq_len * config.d_model);
   gather_v_.resize(max_seq_len * config.d_model);
+  // Sized once so the zero-copy segment list never allocates mid-decode.
+  segments_.reserve(max_seq_len / pool.block_size() + 1);
   init_scratch(config);
 }
 
@@ -39,18 +42,74 @@ void SequenceState::truncate(std::size_t len) {
   dense_ ? dense_->truncate(len) : paged_->truncate(len);
 }
 
-SequenceState::KvLayerView SequenceState::layer_view(std::size_t layer) {
-  const std::size_t len = position();
+void SequenceState::begin_chunk(std::size_t n) {
+  chunk_tokens_ = n;
+  // Grow-only: chunk buffers keep their high-water capacity across chunks.
+  if (chunk_x_.size() < n * x_.size()) chunk_x_.resize(n * x_.size());
+  if (chunk_logits_.size() < n * logits_.size()) {
+    chunk_logits_.resize(n * logits_.size());
+  }
+}
+
+void SequenceState::begin_chunk_layer(std::size_t layer,
+                                      std::size_t prefix_len) {
+  chunk_layer_ = layer;
+  if (!paged_) return;  // dense views read the cache matrices directly
+  if (paged_->pool().mode() == KvQuantMode::kFp32 && !force_gather_) return;
+  // One prefix gather per layer per chunk; write_kv_at keeps the written
+  // block's rows fresh from here (earlier blocks cannot change mid-chunk).
+  paged_->gather_range(layer, 0, prefix_len, gather_k_, gather_v_);
+}
+
+void SequenceState::write_kv_at(std::size_t layer, std::size_t pos,
+                                std::span<const float> k,
+                                std::span<const float> v) {
+  if (dense_) {
+    dense_->write_at(layer, pos, k, v);
+    return;
+  }
+  paged_->write_at(layer, pos, k, v);
+  if (chunk_layer_ == layer &&
+      (paged_->pool().mode() != KvQuantMode::kFp32 || force_gather_)) {
+    // Re-read the whole written span of the block `pos` landed in: a
+    // quantized write can grow the block's scale and rescale its earlier
+    // codes, and reading back at exactly this point reproduces what a
+    // token-by-token run (which re-gathers everything each step) would
+    // see. Rows in other blocks are untouched by this write.
+    const std::size_t bs = paged_->pool().block_size();
+    paged_->gather_range(layer, (pos / bs) * bs, pos + 1, gather_k_,
+                         gather_v_);
+  }
+}
+
+std::span<const KvSegment> SequenceState::attend_view(std::size_t layer,
+                                                      std::size_t len) {
+  segments_.clear();
   if (dense_) {
     // Rows [0, len) are a contiguous prefix of the row-major cache matrix.
     const std::size_t d = dense_->keys(layer).cols();
-    return {dense_->keys(layer).flat().first(len * d),
-            dense_->values(layer).flat().first(len * d)};
+    segments_.push_back(KvSegment{dense_->keys(layer).flat().first(len * d),
+                                  dense_->values(layer).flat().first(len * d),
+                                  len});
+    return segments_;
   }
   const std::size_t d = paged_->pool().d_model();
-  paged_->gather(layer, gather_k_, gather_v_);
-  return {std::span<const float>(gather_k_).first(len * d),
-          std::span<const float>(gather_v_).first(len * d)};
+  if (paged_->pool().mode() == KvQuantMode::kFp32 && !force_gather_) {
+    // Zero-copy: fp32 block storage holds the written bits verbatim, so
+    // attention reads the pool directly — no per-step prefix copy.
+    paged_->append_block_segments(layer, len, segments_);
+    return segments_;
+  }
+  if (chunk_layer_ != layer) {
+    // Decode path: dequantize the whole prefix (block scales may have
+    // grown since any earlier gather). Inside a chunk the scratch is
+    // maintained incrementally by begin_chunk_layer/write_kv_at instead.
+    paged_->gather_range(layer, 0, len, gather_k_, gather_v_);
+  }
+  segments_.push_back(
+      KvSegment{std::span<const float>(gather_k_).first(len * d),
+                std::span<const float>(gather_v_).first(len * d), len});
+  return segments_;
 }
 
 }  // namespace opal

@@ -6,10 +6,24 @@
 // The KV backend is either the dense KvCache (max_seq_len rows reserved up
 // front; the single-sequence facade's default) or a PagedKvCache drawing
 // fixed-size blocks from a shared KvBlockPool (the serving path, optionally
-// quantized). PreparedModel reads the cache through layer_view(), which in
-// dense mode returns spans straight into the cache rows and in paged mode
-// dequantizes into per-sequence scratch — with an fp32 pool the two paths
-// produce bitwise-identical attention inputs.
+// quantized). PreparedModel reads the cache through attend_view(), which
+// yields the cached prefix as a short list of row-major KvSegments:
+//   * dense        — one segment spanning the cache rows themselves;
+//   * paged fp32   — one zero-copy segment per KV block, spanning the
+//     pool's storage directly (entries are the written bits, so there is
+//     nothing to dequantize and nothing to copy);
+//   * paged int8/log2 — one segment over per-sequence gather scratch that
+//     read_row dequantized.
+// All three paths feed attention the same values in the same order, so the
+// paged fp32 path stays bitwise identical to dense.
+//
+// Chunked prefill (PreparedModel::prefill_chunk) processes N known tokens
+// layer by layer through one state. The chunk protocol below keeps the
+// quantized gather scratch exact without re-gathering the whole prefix per
+// token: begin_chunk_layer() gathers the pre-chunk prefix once, and each
+// write_kv_at() re-reads just the written block's rows — the only rows a
+// quantized scale-growth rescale can touch — so every attend sees exactly
+// the bytes a token-by-token run would have seen.
 #pragma once
 
 #include <cstddef>
@@ -72,40 +86,96 @@ class SequenceState {
   [[nodiscard]] std::size_t blocks_needed_for_next() const {
     return paged_ ? paged_->blocks_needed_for_next() : 0;
   }
+  /// Pool blocks an `n`-token chunk would take right now (0 in dense mode).
+  [[nodiscard]] std::size_t blocks_needed_for(std::size_t n) const {
+    return paged_ ? paged_->blocks_needed_for(n) : 0;
+  }
   /// Pre-acquires the next step's blocks (no-op in dense mode); lets a
   /// serving layer keep pool mutation out of its parallel decode phase.
   void reserve_next() {
     if (paged_) paged_->reserve_next();
   }
+  /// Multi-token reserve_next(): pre-acquires everything an `n`-token
+  /// prefill chunk needs (idempotent; no-op in dense mode).
+  void reserve_for(std::size_t n) {
+    if (paged_) paged_->reserve_for(n);
+  }
 
-  /// Logits produced by the most recent PreparedModel::step with this state
-  /// (zeros before the first step).
+  /// Logits produced by the most recent PreparedModel::step (or the final
+  /// position of the most recent prefill_chunk) with this state — zeros
+  /// before the first step.
   [[nodiscard]] std::span<const float> logits() const { return logits_; }
+
+  /// Tokens the most recent prefill_chunk processed (0 before the first).
+  [[nodiscard]] std::size_t chunk_tokens() const { return chunk_tokens_; }
+  /// Logits of chunk position `i` (the logits observed after feeding the
+  /// chunk's i-th token); valid until the next step()/prefill_chunk() with
+  /// this state.
+  [[nodiscard]] std::span<const float> chunk_logits_row(std::size_t i) const {
+    require(i < chunk_tokens_,
+            "SequenceState::chunk_logits_row: row out of range");
+    return std::span<const float>(chunk_logits_)
+        .subspan(i * logits_.size(), logits_.size());
+  }
+
+  /// Bench/test hook: route the paged fp32 attend path through the gather
+  /// scratch (the pre-zero-copy behavior) instead of block-span views. The
+  /// two are bitwise identical — fp32 read_row returns the written bits —
+  /// so this only exists to measure what the copy used to cost. No effect
+  /// in dense or quantized modes (which always gather).
+  void set_force_gather(bool force) { force_gather_ = force; }
 
  private:
   friend class PreparedModel;
 
-  /// One layer's cached K/V as row-major [position() x d_model] spans. In
-  /// paged mode this dequantizes into the gather scratch, so the view is
-  /// valid until the next layer_view() call on this state.
-  struct KvLayerView {
-    std::span<const float> keys;
-    std::span<const float> values;
-  };
-  [[nodiscard]] KvLayerView layer_view(std::size_t layer);
+  /// The cached positions [0, len) of `layer` as row-major KvSegments (see
+  /// the header comment for the three backing paths). Gather-backed views
+  /// are valid until the next attend_view()/write on this state; zero-copy
+  /// views follow the pool storage and are always current.
+  [[nodiscard]] std::span<const KvSegment> attend_view(std::size_t layer,
+                                                       std::size_t len);
 
   void init_scratch(const ModelConfig& config);
 
-  void advance_cache() { dense_ ? dense_->advance() : paged_->advance(); }
-  void append_kv(std::size_t layer, std::span<const float> k,
-                 std::span<const float> v) {
-    dense_ ? dense_->append(layer, k, v) : paged_->append(layer, k, v);
+  // --- chunk protocol (driven by PreparedModel::prefill_chunk) ---
+  /// Sizes the chunk activation/logits buffers for `n` tokens.
+  void begin_chunk(std::size_t n);
+  /// Prepares `layer` for in-chunk attends: quantized paths gather the
+  /// pre-chunk prefix [0, prefix_len) once; write_kv_at keeps it fresh.
+  void begin_chunk_layer(std::size_t layer, std::size_t prefix_len);
+  /// Leaves chunk mode: attend_view() re-gathers fully again.
+  void end_chunk() { chunk_layer_ = kNoChunkLayer; }
+  [[nodiscard]] std::span<float> chunk_x_row(std::size_t i) {
+    return std::span<float>(chunk_x_).subspan(i * x_.size(), x_.size());
   }
+  [[nodiscard]] std::span<float> chunk_logits_row_mut(std::size_t i) {
+    return std::span<float>(chunk_logits_)
+        .subspan(i * logits_.size(), logits_.size());
+  }
+
+  void advance_cache() { dense_ ? dense_->advance() : paged_->advance(); }
+  void advance_cache_by(std::size_t n) {
+    dense_ ? dense_->advance_by(n) : paged_->advance_by(n);
+  }
+  /// Writes one position's K/V for `layer`; inside a chunk on a quantized
+  /// (or force-gather) paged cache, also refreshes the written block's rows
+  /// in the gather scratch so in-chunk attends read post-rescale bytes.
+  void write_kv_at(std::size_t layer, std::size_t pos,
+                   std::span<const float> k, std::span<const float> v);
 
   std::size_t max_seq_len_;
   std::optional<KvCache> dense_;
   std::optional<PagedKvCache> paged_;
   std::vector<float> gather_k_, gather_v_;  // paged mode: one layer's KV
+  std::vector<KvSegment> segments_;         // attend_view scratch
+  bool force_gather_ = false;
+  // Chunk state: the layer whose gather scratch prefill_chunk currently
+  // maintains incrementally (kNoChunkLayer outside a chunk).
+  static constexpr std::size_t kNoChunkLayer = static_cast<std::size_t>(-1);
+  std::size_t chunk_layer_ = kNoChunkLayer;
+  std::size_t chunk_tokens_ = 0;
+  std::vector<float> chunk_x_;       // [chunk_tokens x d_model] residuals
+  std::vector<float> chunk_logits_;  // [chunk_tokens x vocab]
   // Scratch buffers reused across steps (sized once at construction); the
   // decode hot path performs no heap allocation.
   std::vector<float> x_, h_, q_, k_, v_, z_, hidden_, logits_;

@@ -25,6 +25,11 @@ ServingEngine::ServingEngine(std::shared_ptr<const PreparedModel> model,
     : model_(std::move(model)), config_(std::move(config)) {
   require(model_ != nullptr, "ServingEngine: null model");
   require(config_.max_batch >= 1, "ServingEngine: max_batch must be >= 1");
+  require(config_.prefill_chunk_tokens >= 1,
+          "ServingEngine: prefill_chunk_tokens must be >= 1");
+  scheduler_ = config_.scheduler != nullptr
+                   ? config_.scheduler
+                   : std::make_shared<FifoScheduler>();
   if (config_.n_threads > 0) {
     pool_ = std::make_unique<ThreadPool>(config_.n_threads);
   }
@@ -56,6 +61,11 @@ ServingEngine::ServingEngine(std::shared_ptr<const PreparedModel> model,
   if (config_.enable_prefix_cache) {
     prefix_cache_ =
         std::make_unique<PrefixCache>(model_->make_prefix_cache(*kv_pool_));
+    // Let siblings on a shared pool pull this engine's unreferenced cached
+    // blocks under pressure instead of stalling on them.
+    kv_pool_->register_reclaimer(this, [this](std::size_t min_blocks) {
+      return reclaim_cached(min_blocks);
+    });
   }
 }
 
@@ -64,6 +74,10 @@ ServingEngine::ServingEngine(const PreparedModel& model, ServingConfig config)
           std::shared_ptr<const PreparedModel>(&model,
                                                [](const PreparedModel*) {}),
           std::move(config)) {}
+
+ServingEngine::~ServingEngine() {
+  if (prefix_cache_ != nullptr) kv_pool_->unregister_reclaimer(this);
+}
 
 RequestId ServingEngine::submit(Request request) {
   require(!request.prompt.empty(), "ServingEngine::submit: empty prompt");
@@ -76,13 +90,35 @@ RequestId ServingEngine::submit(Request request) {
   }
   Sequence seq;
   seq.id = next_id_++;
+  seq.priority = request.priority;
+  seq.submit_step = step_counter_;
   seq.result.status = RequestStatus::kQueued;
   seq.result.tokens = std::move(request.prompt);
   seq.result.prompt_len = seq.result.tokens.size();
   seq.target_len = seq.result.prompt_len + request.max_new_tokens;
+  ++prio_stats_[seq.priority].submitted;
   const RequestId id = seq.id;
   queue_.push_back(std::move(seq));
   return id;
+}
+
+template <typename Container>
+std::span<const SchedRequest> ServingEngine::sched_views(
+    const Container& container) {
+  views_.clear();
+  for (const Sequence& seq : container) {
+    SchedRequest view;
+    view.id = seq.id;
+    view.priority = seq.priority;
+    view.prompt_len = seq.result.prompt_len;
+    view.target_len = seq.target_len;
+    view.fed = seq.fed;
+    view.known = seq.result.tokens.size() - seq.fed;
+    view.tokens_served = seq.tokens_served;
+    view.submit_step = seq.submit_step;
+    views_.push_back(view);
+  }
+  return views_;
 }
 
 std::size_t ServingEngine::blocks_needed(const Sequence& seq) const {
@@ -93,13 +129,22 @@ std::size_t ServingEngine::blocks_needed(const Sequence& seq) const {
                                   model_->config().kv_block_size);
 }
 
+std::size_t ServingEngine::reclaim_cached(std::size_t min_blocks) {
+  return prefix_cache_ != nullptr ? prefix_cache_->reclaim(min_blocks) : 0;
+}
+
 bool ServingEngine::ensure_free_blocks(std::size_t target) {
   if (kv_pool_->free_blocks() >= target) return true;
   if (prefix_cache_ != nullptr) {
     // Unreferenced cached prefixes are free capacity in waiting: reclaim
     // LRU entries before letting pressure disturb any sequence.
     prefix_cache_->reclaim(target - kv_pool_->free_blocks());
+    if (kv_pool_->free_blocks() >= target) return true;
   }
+  // Sibling engines' unreferenced cached blocks on a shared pool are free
+  // capacity too: ask them to let go before this engine preempts or stalls
+  // (no-op on a private pool — nobody else is registered).
+  kv_pool_->request_reclaim(target - kv_pool_->free_blocks(), this);
   return kv_pool_->free_blocks() >= target;
 }
 
@@ -149,29 +194,34 @@ void ServingEngine::admit_from_queue() {
     std::size_t planned = 0;
     for (const auto& seq : batch_) planned += blocks_needed(seq);
     while (batch_.size() < config_.max_batch && !queue_.empty()) {
-      Sequence& head = queue_.front();
-      // Restore the head's cached prefix BEFORE checking capacity: adoption
-      // consumes no free blocks, and its references protect the matched
-      // entries from the reclaim pass below (which would otherwise evict
-      // the very prefix this request is about to reuse). If admission then
-      // blocks, the head just waits in the queue holding its prefix —
-      // reclaim_queued_prefix downgrades it under extreme pressure.
+      const std::size_t pick = scheduler_->pick_admission(sched_views(queue_));
+      if (pick == Scheduler::kNone) break;
+      require(pick < queue_.size(),
+              "ServingEngine: scheduler picked an out-of-range admission");
+      Sequence& head = queue_[pick];
+      // Restore the candidate's cached prefix BEFORE checking capacity:
+      // adoption consumes no free blocks, and its references protect the
+      // matched entries from the reclaim pass below (which would otherwise
+      // evict the very prefix this request is about to reuse). If admission
+      // then blocks, the candidate just waits in the queue holding its
+      // prefix — reclaim_queued_prefix downgrades it under extreme
+      // pressure.
       if (head.state == nullptr) {
         head.state =
             std::make_unique<SequenceState>(model_->make_sequence(*kv_pool_));
         restore_cached_prefix(head);
       } else if (head.downgraded && head.state->blocks_held() == 0) {
-        // A downgraded head whose adoption was dropped on an earlier
+        // A downgraded candidate whose adoption was dropped on an earlier
         // failed attempt: retry the restore — the entries may still be
         // cached, and adoption consumes no free blocks.
         restore_cached_prefix(head);
       }
       std::size_t need = blocks_needed(head);
       if (!ensure_free_blocks(planned + need)) {
-        // A plain head keeps its adopted prefix and waits — the
+        // A plain candidate keeps its adopted prefix and waits — the
         // references protect the matched entries until admission
         // (reclaim_queued_prefix downgrades it under extreme pressure).
-        // A downgraded head must not hold its re-adoption through the
+        // A downgraded candidate must not hold its re-adoption through the
         // failure: it would shield the very entries the reclaim pass
         // above needed and recreate the exact shortfall its downgrade
         // resolved, forever. Drop the adoption and retry once with those
@@ -183,17 +233,17 @@ void ServingEngine::admit_from_queue() {
         if (!ensure_free_blocks(planned + need)) break;
       }
       planned += need;
-      Sequence seq = std::move(queue_.front());
-      queue_.pop_front();
+      Sequence seq = std::move(queue_[pick]);
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
       seq.downgraded = false;
       seq.result.status = RequestStatus::kRunning;
       batch_.push_back(std::move(seq));
     }
     if (!batch_.empty() || queue_.empty()) return;
-    // Nothing is running yet the head cannot start: queued sequences
+    // Nothing is running yet the candidate cannot start: queued sequences
     // keeping preempted prefixes hold the blocks. Downgrade the youngest
-    // holder to full recompute (head last, so the head itself can always
-    // start against a private pool) and retry.
+    // holder to full recompute (so a startable candidate always exists
+    // against a private pool) and retry.
     if (!reclaim_queued_prefix()) return;  // blocks are held outside us
   }
 }
@@ -210,13 +260,31 @@ bool ServingEngine::reclaim_queued_prefix() {
   return false;
 }
 
-bool ServingEngine::ensure_kv_capacity() {
+bool ServingEngine::ensure_kv_capacity(std::vector<std::size_t>& budgets) {
   for (;;) {
     std::size_t need = 0;
-    for (const auto& seq : batch_) need += blocks_needed(seq);
-    // Reclaims LRU cached prefixes first: the prefix cache never costs a
-    // running sequence its blocks. True covers the empty batch too.
+    for (std::size_t i = 0; i < batch_.size(); ++i) {
+      need += batch_[i].state->blocks_needed_for(budgets[i]);
+    }
+    // Reclaims LRU cached prefixes first (ours, then siblings'): the prefix
+    // cache never costs a running sequence its blocks. True covers the
+    // empty batch too.
     if (ensure_free_blocks(need)) return true;
+    // A chunk is a luxury, a running sequence is a commitment: shrink the
+    // widest budget to single-token stepping (ties to the highest slot,
+    // the youngest) before disturbing anyone. Single-token budgets are the
+    // invariant admission guaranteed blocks for.
+    std::size_t widest = Scheduler::kNone;
+    for (std::size_t i = 0; i < batch_.size(); ++i) {
+      if (budgets[i] > 1 &&
+          (widest == Scheduler::kNone || budgets[i] >= budgets[widest])) {
+        widest = i;
+      }
+    }
+    if (widest != Scheduler::kNone) {
+      budgets[widest] = 1;
+      continue;
+    }
     if (batch_.size() == 1) {
       // No running sequence left to preempt: first reclaim kept prefixes
       // of queued (manually preempted) sequences — they replay anyway.
@@ -224,9 +292,9 @@ bool ServingEngine::ensure_kv_capacity() {
       // If another engine on a shared pool holds the missing blocks, the
       // shortfall is transient — stall this step instead of destroying
       // the sequence; they free up as the other engine retires work.
-      // (Our own reclaimable cache entries are already gone: a cached
-      // block that survived ensure_free_blocks is held by a live
-      // sequence of ours, whose path references count under `ours`.)
+      // (Reclaimable cache entries anywhere on the pool are already gone:
+      // ensure_free_blocks drained ours and every sibling's, so whatever
+      // survives is held by live sequences.)
       // Count distinct blocks: with prefix sharing the same physical
       // block can sit in several of our sequences' tables, and summing
       // blocks_held() would inflate `ours` past blocks_in_use() and
@@ -250,15 +318,22 @@ bool ServingEngine::ensure_kv_capacity() {
       finish(std::move(batch_.front()), RequestStatus::kEvicted);
       batch_.clear();
       admit_from_queue();
+      // Pressure admissions restart at the single-token invariant; chunks
+      // resume next step once the scheduler re-plans.
+      budgets.assign(batch_.size(), 1);
       continue;
     }
-    // Recompute preemption of the youngest running sequence: cache its
-    // full block columns (replay then restores them as a prefix hit, and
-    // the reclaim above frees them LRU-first if pressure persists), then
-    // requeue at the front so it reclaims its slot as soon as memory
-    // frees up.
-    Sequence victim = std::move(batch_.back());
-    batch_.pop_back();
+    // Recompute preemption of the scheduler's victim: cache its full block
+    // columns (replay then restores them as a prefix hit, and the reclaim
+    // above frees them LRU-first if pressure persists), then requeue at
+    // the front so it reclaims a slot as soon as memory frees up (the
+    // scheduler still chooses whether something else jumps it).
+    const std::size_t pick = scheduler_->pick_victim(sched_views(batch_));
+    require(pick < batch_.size(),
+            "ServingEngine: scheduler picked an out-of-range victim");
+    Sequence victim = std::move(batch_[pick]);
+    batch_.erase(batch_.begin() + static_cast<std::ptrdiff_t>(pick));
+    budgets.erase(budgets.begin() + static_cast<std::ptrdiff_t>(pick));
     release_sequence_kv(victim);
     victim.result.status = RequestStatus::kQueued;
     ++stat_preemptions_;
@@ -272,7 +347,13 @@ void ServingEngine::finish(Sequence&& seq, RequestStatus status) {
   // pool: the next request sharing the prompt skips that prefill.
   maybe_cache_prefix(seq);
   seq.state.reset();  // unshared blocks return to the pool immediately
-  if (status == RequestStatus::kEvicted) ++stat_evictions_;
+  if (status == RequestStatus::kEvicted) {
+    ++stat_evictions_;
+    ++prio_stats_[seq.priority].evicted;
+  } else {
+    ++prio_stats_[seq.priority].finished;
+  }
+  scheduler_->on_retired(seq.id);
   done_.emplace(seq.id, std::move(seq.result));
 }
 
@@ -324,6 +405,7 @@ void ServingEngine::preempt(RequestId id, std::size_t keep_positions) {
 }
 
 std::size_t ServingEngine::step() {
+  ++step_counter_;
   admit_from_queue();
 
   // Retire completed sequences a prior step could not retire (its observer
@@ -348,22 +430,53 @@ std::size_t ServingEngine::step() {
     admit_from_queue();
   }
 
+  // Budget planning: the scheduler proposes per-sequence token counts; the
+  // engine clamps each to the tokens actually known, the configured chunk
+  // width, and the sequence's remaining KV space. Everything is >= 1, so
+  // every running sequence advances.
+  budgets_.assign(batch_.size(), 1);
+  if (!batch_.empty()) {
+    scheduler_->plan_budgets(sched_views(batch_), budgets_,
+                             config_.prefill_chunk_tokens);
+    for (std::size_t i = 0; i < batch_.size(); ++i) {
+      const Sequence& seq = batch_[i];
+      const std::size_t known = seq.result.tokens.size() - seq.fed;
+      const std::size_t space =
+          seq.state->max_seq_len() - seq.state->position();
+      const std::size_t cap =
+          std::min({known, space, config_.prefill_chunk_tokens});
+      budgets_[i] = std::clamp<std::size_t>(budgets_[i], 1, cap);
+    }
+  }
+
   // Memory pressure: make sure the pool covers every running sequence's
-  // next position, preempting (then, for a lone sequence, evicting) first.
-  // A false return means a shared pool's blocks are transiently held by
-  // another engine — stall this step rather than decode into exhaustion.
-  if (!ensure_kv_capacity()) return 0;
+  // planned budget, shrinking budgets then preempting (then, for a lone
+  // sequence, evicting) first. A false return means a shared pool's blocks
+  // are transiently held by another engine — stall this step rather than
+  // decode into exhaustion.
+  if (!ensure_kv_capacity(budgets_)) return 0;
   if (batch_.empty()) return 0;
 
   // Serial reservation phase: all pool allocation for this step happens
   // here, so the parallel decode below never mutates shared pool state.
-  for (auto& seq : batch_) seq.state->reserve_next();
+  for (std::size_t i = 0; i < batch_.size(); ++i) {
+    batch_[i].state->reserve_for(budgets_[i]);
+  }
 
-  // Parallel phase: decode one token per sequence. Disjoint SequenceStates
-  // against a const PreparedModel — safe and bitwise order-independent.
+  // Parallel phase: decode each sequence's budget — one token through
+  // step(), a multi-token chunk through prefill_chunk() (bitwise identical
+  // to that many single steps). Disjoint SequenceStates against a const
+  // PreparedModel — safe and bitwise order-independent.
   auto decode_one = [this](std::size_t i) {
     Sequence& seq = batch_[i];
-    model_->step(*seq.state, seq.result.tokens[seq.fed]);
+    const std::size_t n = budgets_[i];
+    if (n == 1) {
+      model_->step(*seq.state, seq.result.tokens[seq.fed]);
+    } else {
+      model_->prefill_chunk(
+          *seq.state,
+          std::span<const std::size_t>(seq.result.tokens).subspan(seq.fed, n));
+    }
   };
   if (pool_ != nullptr) {
     pool_->parallel_for(batch_.size(), decode_one);
@@ -376,18 +489,34 @@ std::size_t ServingEngine::step() {
   // observer fires, so a throwing observer can never leave a sequence's fed
   // counter out of sync with its already-advanced KV cache.
   const std::size_t decoded = batch_.size();
-  stat_tokens_ += decoded;
   fed_pos_.resize(decoded);
   for (std::size_t i = 0; i < decoded; ++i) {
     Sequence& seq = batch_[i];
+    const std::size_t n = budgets_[i];
     const std::span<const float> logits = seq.state->logits();
-    fed_pos_[i] = seq.fed;
-    ++seq.fed;
+    fed_pos_[i] = seq.fed;  // first position fed this step
+    seq.fed += n;
+    seq.tokens_served += n;
+    stat_tokens_ += n;
+    auto& prio = prio_stats_[seq.priority];
+    prio.tokens_served += n;
+    if (!seq.wait_counted) {
+      seq.wait_counted = true;
+      prio.queue_wait_steps +=
+          static_cast<std::size_t>(step_counter_ - seq.submit_step - 1);
+      ++prio.first_decodes;
+    }
     if (seq.fed == seq.result.tokens.size() &&
         seq.result.tokens.size() < seq.target_len) {
       const auto best = std::max_element(logits.begin(), logits.end());
       seq.result.tokens.push_back(
           static_cast<std::size_t>(best - logits.begin()));
+      if (!seq.ttft_counted) {
+        seq.ttft_counted = true;
+        prio.ttft_steps +=
+            static_cast<std::size_t>(step_counter_ - seq.submit_step);
+        ++prio.first_tokens;
+      }
       // The final generated token is pure output — feeding it would spend a
       // KV slot and a forward pass on logits nobody reads.
       seq.done = seq.result.tokens.size() == seq.target_len;
@@ -396,14 +525,25 @@ std::size_t ServingEngine::step() {
         seq.result.tokens.size() >= seq.target_len) {
       seq.done = true;  // scoring request: every prompt token has been fed
     }
+    scheduler_->on_served(seq.id, n);
   }
 
   // Observer pass: sequence states (and their logits buffers) are all still
-  // alive. A throw here propagates to the caller with the engine in a
-  // consistent state; the remaining observer calls of this step are skipped.
+  // alive. Within a chunk the observer sees every fed position in order,
+  // exactly as a token-by-token run would have reported it. A throw here
+  // propagates to the caller with the engine in a consistent state; the
+  // remaining observer calls of this step are skipped.
   if (observer_) {
     for (std::size_t i = 0; i < decoded; ++i) {
-      observer_(batch_[i].id, fed_pos_[i], batch_[i].state->logits());
+      const Sequence& seq = batch_[i];
+      const std::size_t n = budgets_[i];
+      if (n == 1) {
+        observer_(seq.id, fed_pos_[i], seq.state->logits());
+      } else {
+        for (std::size_t j = 0; j < n; ++j) {
+          observer_(seq.id, fed_pos_[i] + j, seq.state->chunk_logits_row(j));
+        }
+      }
     }
   }
 
@@ -437,6 +577,7 @@ ServingEngine::Stats ServingEngine::stats() const {
   s.evictions = stat_evictions_;
   s.preemptions = stat_preemptions_;
   s.tokens_decoded = stat_tokens_;
+  s.steps = static_cast<std::size_t>(step_counter_);
   if (prefix_cache_ != nullptr) {
     const auto p = prefix_cache_->stats();
     s.prefix_hits = p.hits;
@@ -445,6 +586,7 @@ ServingEngine::Stats ServingEngine::stats() const {
     s.prefix_cached_blocks = p.cached_blocks;
     s.prefix_reclaimed_blocks = p.reclaimed_blocks;
   }
+  s.by_priority = prio_stats_;
   return s;
 }
 

@@ -1,17 +1,46 @@
 // Batched serving layer over an immutable PreparedModel.
 //
-// ServingEngine runs continuous batching: a FIFO request queue feeds up to
+// ServingEngine runs continuous batching: a request queue feeds up to
 // `max_batch` concurrently running sequences, each with its own
-// SequenceState, all decoding against one shared PreparedModel. Every step()
-// advances each running sequence by exactly one token — sequences at
-// different positions (one mid-prompt, one deep into generation) coexist in
-// the same batch. A slot freed by a completed sequence is refilled from the
-// queue at the start of the next step (the newly admitted sequence would
-// not decode any earlier if admitted sooner); a KV-exhaustion eviction
-// refills within the same step. With n_threads > 0 the per-sequence decodes
-// fan out across a thread pool; because PreparedModel::step is const and
-// per-sequence state is disjoint, the results are bitwise identical to the
-// serial schedule.
+// SequenceState, all decoding against one shared PreparedModel. Sequences
+// at different positions (one mid-prompt, one deep into generation) coexist
+// in the same batch. A slot freed by a completed sequence is refilled from
+// the queue at the start of the next step (the newly admitted sequence
+// would not decode any earlier if admitted sooner); a KV-exhaustion
+// eviction refills within the same step. With n_threads > 0 the
+// per-sequence decodes fan out across a thread pool; because
+// PreparedModel::step is const and per-sequence state is disjoint, the
+// results are bitwise identical to the serial schedule.
+//
+// Scheduling is a pluggable policy (ServingConfig::scheduler, see
+// scheduler.h): each step the engine asks the scheduler which queued
+// request to admit next, how many tokens each running sequence may process
+// (its budget), and — under pool pressure — which runner to preempt. The
+// engine guarantees around every policy:
+//   * a budget of 1 is always honored: every running sequence advances at
+//     least one token per step it decodes in (no policy can starve a
+//     runner);
+//   * budgets above 1 apply only to KNOWN tokens (prompt prefill and
+//     post-preemption replay) and are clamped to prefill_chunk_tokens and
+//     the sequence's remaining KV space;
+//   * under pool pressure budgets shrink back to 1 BEFORE any sequence is
+//     preempted, and the admission candidate the scheduler picked gets
+//     head-of-line semantics (nothing jumps it while it waits for blocks);
+//   * scheduler hooks fire only from the engine's serial phase — never
+//     concurrently, never re-entrantly (see scheduler.h for the full
+//     contract, including what stateful policies may assume).
+// Because per-sequence computation is deterministic and preemption replays
+// bitwise, every policy returns token-for-token identical results per
+// request; policies only reorder who gets them first.
+//
+// Chunked prefill (ServingConfig::prefill_chunk_tokens > 1): sequences
+// with multiple known tokens feed them through
+// PreparedModel::prefill_chunk — one multi-token pass per step, bitwise
+// identical to that many single steps in every kv_mode — so a long prompt
+// reaches its first generated token in prompt/chunk steps instead of
+// prompt steps, and short requests interleave with it instead of waiting
+// behind a token-by-token prefill. The logits observer still fires once
+// per fed position.
 //
 // KV memory is paged: every sequence allocates fixed-size blocks from a
 // KvBlockPool (engine-owned by default, or shared across engines via
@@ -19,12 +48,13 @@
 // The engine is memory-aware end to end:
 //   * admission requires free blocks for the candidate's next step, not
 //     just a free batch slot;
-//   * before each decode, every running sequence's next block column is
-//     reserved serially (the parallel decode phase never touches the pool);
-//   * when the pool cannot cover the batch's next step, the youngest
-//     running sequence is preempted — its blocks return to the pool and it
-//     re-queues at the front for deterministic recompute — before any hard
-//     eviction;
+//   * before each decode, every running sequence's blocks for its budget
+//     are reserved serially (the parallel decode phase never touches the
+//     pool);
+//   * when the pool cannot cover the batch's next step even at budget 1,
+//     the scheduler's victim is preempted — its blocks return to the pool
+//     and it re-queues at the front for deterministic recompute — before
+//     any hard eviction;
 //   * with nothing left to preempt, kept prefixes of queued (manually
 //     preempted) sequences are reclaimed next — they replay regardless —
 //     and only a lone sequence that a *private* pool still cannot grow is
@@ -47,23 +77,27 @@
 // — it indexes the sequence's full block columns instead of discarding
 // them, which also turns preemption replay into a cache hit. Cached blocks
 // no sequence references stay reclaimable: under pool pressure the engine
-// reclaims LRU cache entries *before* preempting anything, so the cache
-// never reduces effective capacity. Prefix-cache hits skip the skipped
-// positions' decodes entirely — the logits observer does not fire for
-// them — so leave the cache off for teacher-forced scoring that must see
-// every position (evaluate_perplexity_batched does). Outputs are bitwise
-// identical to a cache-off run in every kv_mode for block-aligned sharing,
-// since a cached block holds exactly the codes a replay would recompute.
-// The one way quantized KV could break that purity — preempt(id, keep>0)
-// truncating mid-block, which leaves the boundary block's grow-only scale
-// reflecting discarded rows — is fenced off: columns at or past such a
-// truncation are never indexed (see Sequence::non_canonical_from).
+// reclaims LRU cache entries *before* preempting anything — first its own,
+// then (through KvBlockPool::request_reclaim) any sibling engine's on a
+// shared pool, so an idle engine's cached blocks flow to a busy one
+// instead of stalling it (reclaim_cached() is the hook the pool drives).
+// Prefix-cache hits skip the skipped positions' decodes entirely — the
+// logits observer does not fire for them — so leave the cache off for
+// teacher-forced scoring that must see every position
+// (evaluate_perplexity_batched does). Outputs are bitwise identical to a
+// cache-off run in every kv_mode for block-aligned sharing, since a cached
+// block holds exactly the codes a replay would recompute. The one way
+// quantized KV could break that purity — preempt(id, keep>0) truncating
+// mid-block, which leaves the boundary block's grow-only scale reflecting
+// discarded rows — is fenced off: columns at or past such a truncation are
+// never indexed (see Sequence::non_canonical_from).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <span>
 #include <string>
@@ -74,17 +108,20 @@
 #include "llm/kv_block_pool.h"
 #include "llm/prefix_cache.h"
 #include "llm/prepared_model.h"
+#include "llm/scheduler.h"
 #include "llm/sequence_state.h"
 
 namespace opal {
-
-using RequestId = std::uint64_t;
 
 struct Request {
   /// Tokens fed verbatim (teacher-forced). Must be non-empty.
   std::vector<std::size_t> prompt;
   /// Greedy-decoded continuation length after the prompt (0 = pure scoring).
   std::size_t max_new_tokens = 0;
+  /// Scheduling class: higher runs sooner under PriorityScheduler (and any
+  /// policy that reads it); FIFO ignores it. Stats are broken out per
+  /// priority either way.
+  int priority = 0;
 };
 
 enum class RequestStatus : std::uint8_t {
@@ -125,15 +162,26 @@ struct ServingConfig {
   /// columns can hold each other's blocks and stall mutually — step()
   /// returns 0 with running() > 0 (distinguishable from a drained engine,
   /// where running() and queued() are both 0), and the caller must
-  /// preempt() or resize to make progress. An engine only reclaims its OWN
-  /// prefix cache under pressure; when sharing a pool between engines with
-  /// caches enabled, an idle engine's cached blocks can hold a busy one in
-  /// that stall until the caller drives prefix_cache()->reclaim()/clear().
+  /// preempt() or resize to make progress. Engines with prefix caches
+  /// enabled reclaim each other's unreferenced cached blocks automatically
+  /// under pressure (KvBlockPool::request_reclaim), so only blocks held by
+  /// live sequences can sustain such a stall.
   std::shared_ptr<KvBlockPool> kv_pool;
   /// Reuse KV blocks across requests that share token prefixes (see the
   /// header comment). Off by default because restored positions skip their
   /// decodes, which silences the logits observer for those positions.
   bool enable_prefix_cache = false;
+  /// Scheduling policy; null = FifoScheduler. The engine shares ownership;
+  /// see scheduler.h for the hook contract and when an instance may be
+  /// shared between engines.
+  std::shared_ptr<Scheduler> scheduler;
+  /// Upper bound on tokens one sequence may process in one step (its
+  /// prefill chunk). 1 (the default) reproduces single-token stepping
+  /// decision-for-decision; larger values let prompts prefill in
+  /// multi-token chunks (PreparedModel::prefill_chunk — bitwise identical
+  /// results in every kv_mode, fewer steps and one KV-prefix pass per
+  /// layer per chunk instead of per token).
+  std::size_t prefill_chunk_tokens = 1;
 };
 
 class ServingEngine {
@@ -143,16 +191,21 @@ class ServingEngine {
                 ServingConfig config = {});
   /// Non-owning view: `model` must outlive the engine.
   ServingEngine(const PreparedModel& model, ServingConfig config = {});
+  ~ServingEngine();
 
-  /// Enqueues a request; it starts running once a batch slot and enough
-  /// free KV blocks are available.
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Enqueues a request; it starts running once the scheduler picks it and
+  /// a batch slot plus enough free KV blocks are available.
   RequestId submit(Request request);
 
-  /// Advances every running sequence by one token (admitting queued
-  /// requests into free slots first, resolving KV pressure by preemption).
-  /// Returns the number of sequences decoded; 0 means no sequence can make
-  /// progress — all work has drained, or (with a shared pool) every free
-  /// block is held elsewhere.
+  /// Advances every running sequence by its scheduled token budget
+  /// (admitting queued requests into free slots first, resolving KV
+  /// pressure by budget-shrink then preemption). Returns the number of
+  /// sequences decoded; 0 means no sequence can make progress — all work
+  /// has drained, or (with a shared pool) every free block is held
+  /// elsewhere.
   std::size_t step();
 
   /// Steps until no sequence can make progress (see step()).
@@ -198,6 +251,23 @@ class ServingEngine {
   [[nodiscard]] std::size_t running() const { return batch_.size(); }
   [[nodiscard]] std::size_t queued() const { return queue_.size(); }
 
+  /// Per-priority serving accounting. All step-denominated quantities count
+  /// engine steps (deterministic — independent of wall-clock), measured
+  /// from submit(): queue_wait is steps spent before the request's first
+  /// decode, ttft is steps until its first *generated* token exists
+  /// (recorded only for requests with max_new_tokens > 0, counted by
+  /// first_tokens).
+  struct PriorityClassStats {
+    std::size_t submitted = 0;
+    std::size_t finished = 0;  // kFinished retirements
+    std::size_t evicted = 0;   // kEvicted retirements
+    std::size_t tokens_served = 0;      // decode positions executed
+    std::size_t queue_wait_steps = 0;   // cumulative, over first_decodes
+    std::size_t first_decodes = 0;
+    std::size_t ttft_steps = 0;  // cumulative, over first_tokens
+    std::size_t first_tokens = 0;
+  };
+
   /// Point-in-time serving counters. Block counts read the underlying pool,
   /// so with a shared pool they include other engines' usage.
   struct Stats {
@@ -212,15 +282,29 @@ class ServingEngine {
     std::size_t queued = 0;
     std::size_t evictions = 0;       // cumulative kEvicted retirements
     std::size_t preemptions = 0;     // cumulative (manual + memory pressure)
-    std::size_t tokens_decoded = 0;  // cumulative decode steps executed
+    std::size_t tokens_decoded = 0;  // cumulative decode positions executed
+    std::size_t steps = 0;           // cumulative step() calls
     // Prefix-cache counters (all 0 when enable_prefix_cache is off).
     std::size_t prefix_hits = 0;        // admissions that restored a prefix
     std::size_t prefix_misses = 0;      // admissions that found nothing
     std::size_t prefix_hit_tokens = 0;  // cumulative prefill decodes skipped
     std::size_t prefix_cached_blocks = 0;     // currently pinned by the cache
     std::size_t prefix_reclaimed_blocks = 0;  // cumulative freed under pressure
+    /// Queue-wait / TTFT / tokens-served accounting per priority level.
+    std::map<int, PriorityClassStats> by_priority;
   };
   [[nodiscard]] Stats stats() const;
+
+  /// The active scheduling policy (never null; FifoScheduler by default).
+  [[nodiscard]] const Scheduler& scheduler() const { return *scheduler_; }
+
+  /// Releases up to `min_blocks` of this engine's unreferenced cached
+  /// prefix blocks back to the pool; returns the blocks freed (0 when the
+  /// prefix cache is off or nothing is reclaimable). Invoked automatically
+  /// — for the engine's own pressure, and by sibling engines through
+  /// KvBlockPool::request_reclaim when a shared pool runs short — and
+  /// callable directly by servers that want to shed cache ahead of load.
+  std::size_t reclaim_cached(std::size_t min_blocks);
 
   /// The engine's prefix cache (null unless enable_prefix_cache). Exposed
   /// so callers can reclaim()/clear() explicitly — e.g. to release a shared
@@ -231,7 +315,8 @@ class ServingEngine {
   }
 
   /// Observes the logits of every decode, in deterministic slot order
-  /// within each step: (request, 0-based position of the fed token, logits).
+  /// within each step — and, within one sequence's multi-token chunk, in
+  /// position order: (request, 0-based position of the fed token, logits).
   ///
   /// Contract: the observer fires inside step() after the step's bookkeeping
   /// is complete. It must not call back into this engine (submit/step/
@@ -252,15 +337,20 @@ class ServingEngine {
   struct Sequence {
     RequestId id = 0;
     RequestResult result;
+    int priority = 0;
     std::size_t target_len = 0;  // prompt_len + max_new_tokens
     std::size_t fed = 0;         // tokens already decoded into the KV cache
+    std::size_t tokens_served = 0;  // cumulative decodes (incl. replays)
+    std::uint64_t submit_step = 0;  // step counter at submit()
+    bool wait_counted = false;      // queue-wait stat recorded
+    bool ttft_counted = false;      // first-token stat recorded
     // Completion is recorded here (not in step-local state) so that an
     // observer throwing on the finishing step cannot strand a completed
     // sequence in the batch and have the next step feed past tokens.end().
     bool done = false;
     // Set when reclaim_queued_prefix downgrades this queued sequence to
-    // full recompute. A downgraded head still re-adopts its cached prefix
-    // optimistically at admission (the entries often survive until
+    // full recompute. A downgraded admission candidate still re-adopts its
+    // cached prefix optimistically (the entries often survive until
     // pressure clears), but must not hold the adoption through a failed
     // capacity check — admit_from_queue drops it and retries — or it
     // would re-pin the very entries it just gave back, fail the same
@@ -279,15 +369,17 @@ class ServingEngine {
   };
 
   void admit_from_queue();
-  /// Resolves pool pressure by cache-reclaim/preemption/eviction. False: a
-  /// shared pool's blocks are transiently held by another engine and this
-  /// step must stall (no decode) until they free up.
-  bool ensure_kv_capacity();
+  /// Resolves pool pressure for the planned budgets by budget-shrink, then
+  /// cache-reclaim/preemption/eviction. False: a shared pool's blocks are
+  /// transiently held by another engine and this step must stall (no
+  /// decode) until they free up.
+  bool ensure_kv_capacity(std::vector<std::size_t>& budgets);
   /// Downgrades the youngest queued sequence still holding a kept KV
   /// prefix to full recompute, returning its blocks. False if none holds.
   bool reclaim_queued_prefix();
   /// True once the pool has `target` free blocks, reclaiming LRU prefix
-  /// cache entries to get there if needed.
+  /// cache entries (this engine's first, then siblings' via the pool) to
+  /// get there if needed.
   bool ensure_free_blocks(std::size_t target);
   /// Maps the longest cached prefix of seq's tokens into its fresh state.
   void restore_cached_prefix(Sequence& seq);
@@ -299,18 +391,26 @@ class ServingEngine {
   void finish(Sequence&& seq, RequestStatus status);
   Sequence* find_running(RequestId id);
   [[nodiscard]] std::size_t blocks_needed(const Sequence& seq) const;
+  /// Rebuilds views_ as a SchedRequest snapshot of `container`.
+  template <typename Container>
+  std::span<const SchedRequest> sched_views(const Container& container);
 
   std::shared_ptr<const PreparedModel> model_;
   ServingConfig config_;
+  std::shared_ptr<Scheduler> scheduler_;
   std::unique_ptr<ThreadPool> pool_;  // null when n_threads == 0
   std::shared_ptr<KvBlockPool> kv_pool_;
   std::unique_ptr<PrefixCache> prefix_cache_;  // null unless enabled
   std::deque<Sequence> queue_;
   std::vector<Sequence> batch_;
-  std::vector<std::size_t> fed_pos_;  // per-step scratch, reused
+  std::vector<std::size_t> fed_pos_;       // per-step scratch, reused
+  std::vector<std::size_t> budgets_;       // per-step scratch, reused
+  std::vector<SchedRequest> views_;        // scheduler-snapshot scratch
   std::unordered_map<RequestId, RequestResult> done_;
+  std::map<int, PriorityClassStats> prio_stats_;
   LogitsObserver observer_;
   RequestId next_id_ = 1;
+  std::uint64_t step_counter_ = 0;
   std::size_t stat_evictions_ = 0;
   std::size_t stat_preemptions_ = 0;
   std::size_t stat_tokens_ = 0;

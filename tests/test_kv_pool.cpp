@@ -434,6 +434,125 @@ TEST(PagedKvCache, MidBlockTruncateThenReadvanceIsDeterministicQuantized) {
   }
 }
 
+TEST(PagedKvCache, AdvanceByWriteAtMatchesStepwiseAllModes) {
+  // Chunked prefill's multi-row path (advance_by + per-layer write_at in
+  // layer-major order) must leave every mode's cache bitwise identical to
+  // the token-by-token advance/append path, including across block-scale
+  // growth (rows get larger over time to force rescales).
+  const std::size_t n_layers = 2, d = 8, bs = 4, n_tokens = 11;
+  for (const KvQuantMode mode :
+       {KvQuantMode::kFp32, KvQuantMode::kInt8, KvQuantMode::kLog2}) {
+    KvBlockPool pool_a(16, bs, d, mode);
+    KvBlockPool pool_b(16, bs, d, mode);
+    PagedKvCache stepwise(pool_a, n_layers, 32);
+    PagedKvCache chunked(pool_b, n_layers, 32);
+
+    auto row_for = [&](std::size_t t, std::size_t l) {
+      std::vector<float> row(d);
+      for (std::size_t c = 0; c < d; ++c) {
+        row[c] = (static_cast<float>(t + 1) * 0.35f + static_cast<float>(l)) *
+                 (c % 2 == 0 ? 1.0f : -0.5f);
+      }
+      return row;
+    };
+    for (std::size_t t = 0; t < n_tokens; ++t) {
+      stepwise.advance();
+      for (std::size_t l = 0; l < n_layers; ++l) {
+        const auto row = row_for(t, l);
+        stepwise.append(l, row, row);
+      }
+    }
+    chunked.advance_by(n_tokens);
+    for (std::size_t l = 0; l < n_layers; ++l) {
+      for (std::size_t t = 0; t < n_tokens; ++t) {
+        const auto row = row_for(t, l);
+        chunked.write_at(l, t, row, row);
+      }
+    }
+    std::vector<float> k_a(n_tokens * d), v_a(n_tokens * d);
+    std::vector<float> k_b(n_tokens * d), v_b(n_tokens * d);
+    for (std::size_t l = 0; l < n_layers; ++l) {
+      stepwise.gather(l, k_a, v_a);
+      chunked.gather(l, k_b, v_b);
+      EXPECT_EQ(k_a, k_b) << to_string(mode) << " layer " << l;
+      EXPECT_EQ(v_a, v_b) << to_string(mode) << " layer " << l;
+    }
+  }
+}
+
+TEST(PagedKvCache, BlocksNeededForMatchesReserveConsumption) {
+  const std::size_t n_layers = 2, d = 4, bs = 4;
+  KvBlockPool pool(64, bs, d);
+  PagedKvCache cache(pool, n_layers, 40);
+  EXPECT_EQ(cache.blocks_needed_for(0), 0u);
+  EXPECT_EQ(cache.blocks_needed_for(1), cache.blocks_needed_for_next());
+  // From empty: n positions need ceil(n/bs) columns of 2*n_layers blocks.
+  EXPECT_EQ(cache.blocks_needed_for(4), 4u);
+  EXPECT_EQ(cache.blocks_needed_for(5), 8u);
+  EXPECT_EQ(cache.blocks_needed_for(9), 12u);
+  for (const std::size_t n : {3u, 5u, 1u, 8u}) {
+    const std::size_t predicted = cache.blocks_needed_for(n);
+    const std::size_t before = pool.free_blocks();
+    cache.reserve_for(n);
+    EXPECT_EQ(before - pool.free_blocks(), predicted) << "chunk " << n;
+    cache.advance_by(n);  // consumes the reservation, takes nothing more
+    EXPECT_EQ(pool.free_blocks(), before - predicted) << "chunk " << n;
+  }
+  EXPECT_EQ(cache.length(), 17u);
+  EXPECT_THROW(static_cast<void>(cache.blocks_needed_for(40)),
+               std::invalid_argument);
+}
+
+TEST(PagedKvCache, ReserveForIsAllOrNothingAndCopyOnWritesSharedBlocks) {
+  const std::size_t n_layers = 1, d = 4, bs = 4;
+  KvBlockPool pool(8, bs, d);
+  // Donor writes two full columns; the adopter maps them shared, then
+  // truncates mid-block so a multi-row re-advance must copy-on-write the
+  // boundary column before writing.
+  PagedKvCache donor(pool, n_layers, 16);
+  std::vector<float> row(d, 1.5f);
+  for (std::size_t t = 0; t < 8; ++t) {
+    donor.advance();
+    donor.append(0, row, row);
+  }
+  std::vector<KvBlockColumn> columns = {donor.block_column(0),
+                                        donor.block_column(1)};
+  PagedKvCache adopter(pool, n_layers, 16);
+  adopter.map_shared(columns, 8);
+  adopter.truncate(6);  // mid-block into the (shared) second column
+
+  // 2 COW blocks (K+V of the shared boundary column) + 1 fresh column.
+  EXPECT_EQ(adopter.blocks_needed_for(2), 2u);
+  EXPECT_EQ(adopter.blocks_needed_for(3), 4u);
+  // Pool state: donor holds 4, adopter holds 4 (2 shared + the shared
+  // boundary column) -> free = 8 - 6 distinct... exhaust the rest to prove
+  // all-or-nothing: grab every remaining free block.
+  std::vector<KvBlockPool::BlockId> grabbed;
+  while (pool.free_blocks() > 1) grabbed.push_back(pool.allocate());
+  const std::size_t free_before = pool.free_blocks();
+  const std::size_t held_before = adopter.blocks_held();
+  EXPECT_THROW(adopter.reserve_for(2), KvPoolExhausted);  // needs 2, has 1
+  EXPECT_EQ(pool.free_blocks(), free_before);      // took nothing
+  EXPECT_EQ(adopter.blocks_held(), held_before);   // changed nothing
+  for (const auto id : grabbed) pool.free(id);
+
+  adopter.advance_by(2);
+  for (std::size_t t = 6; t < 8; ++t) {
+    std::vector<float> fresh(d, static_cast<float>(t));
+    adopter.write_at(0, t, fresh, fresh);
+  }
+  // The donor's blocks kept their original contents (COW protected them).
+  std::vector<float> k(8 * d), v(8 * d);
+  donor.gather(0, k, v);
+  for (std::size_t t = 6; t < 8; ++t) {
+    EXPECT_EQ(k[t * d], 1.5f) << "donor row " << t << " clobbered";
+  }
+  std::vector<float> ka(8 * d), va(8 * d);
+  adopter.gather(0, ka, va);
+  EXPECT_EQ(ka[5 * d], 1.5f);  // kept shared prefix rows survive
+  EXPECT_EQ(ka[6 * d], 6.0f);  // rewritten rows are private
+}
+
 TEST(PagedKvCache, BlocksForRoundsUpPerColumn) {
   EXPECT_EQ(PagedKvCache::blocks_for(2, 0, 16), 0u);
   EXPECT_EQ(PagedKvCache::blocks_for(2, 1, 16), 4u);

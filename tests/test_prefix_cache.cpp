@@ -464,6 +464,44 @@ TEST(PrefixCacheServing, AdmissionDoesNotLivelockWhenSiblingHoldsTheSlack) {
   EXPECT_EQ(a.stats().evictions, 0u);
 }
 
+TEST(PrefixCacheServing, IdleSiblingCacheIsReclaimedAcrossEngines) {
+  // Two engines on one shared pool. Engine A serves a prompt, goes idle,
+  // and its prefix cache pins most of the pool (reclaimable, but only A's
+  // own pressure path used to reclaim it). Engine B then needs those
+  // blocks: before cross-engine reclaim B stalled (step() == 0) until the
+  // caller manually drove a.prefix_cache()->reclaim(); now B's
+  // ensure_free_blocks asks every reclaimer registered on the pool
+  // (ServingEngine::reclaim_cached) and proceeds on its own.
+  EngineConfig cfg;
+  cfg.max_seq_len = 16;
+  cfg.kv_block_size = 4;
+  auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+  // 3 block columns: 2 cached by idle A, 1 free for B's start.
+  auto pool = std::make_shared<KvBlockPool>(12, 4, tiny_config().d_model);
+  ServingEngine a(model, serving_config(1, true, pool));
+  ServingEngine b(model, serving_config(1, false, pool));
+
+  const RequestId warm = a.submit(Request{shared_prefix(8), 0});
+  a.run();  // A retires and indexes 2 columns, then sits idle
+  EXPECT_EQ(a.result(warm).status, RequestStatus::kFinished);
+  EXPECT_EQ(a.stats().prefix_cached_blocks, 8u);
+  EXPECT_EQ(pool->free_blocks(), 4u);
+
+  // B needs 3 columns (9 fed positions); 2 are pinned by A's idle cache.
+  const std::vector<std::size_t> prompt_b = {2, 7, 9, 2, 6};
+  const auto ref_b = reference_tokens(model, prompt_b, 5);
+  const RequestId rb = b.submit(Request{prompt_b, 5});
+  while (b.result(rb).status != RequestStatus::kFinished) {
+    ASSERT_GT(b.step(), 0u) << "B stalled on A's idle cache";
+  }
+  EXPECT_EQ(b.result(rb).tokens, ref_b);
+  EXPECT_EQ(b.stats().evictions, 0u);
+  EXPECT_GE(a.stats().prefix_reclaimed_blocks, 4u);  // A's cache gave way
+  // A's remaining cached entries (if any) are still reclaimable, and no
+  // block leaked: everything in use is accounted to the cache.
+  EXPECT_EQ(pool->blocks_in_use(), a.stats().prefix_cached_blocks);
+}
+
 TEST(PrefixCacheServing, DowngradedSequenceStillHitsTheCacheOncePressureClears) {
   // A queued sequence whose kept prefix is reclaimed under pressure
   // (downgraded to full recompute) re-adopts its cached prefix at
