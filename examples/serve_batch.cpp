@@ -52,6 +52,11 @@ void print_stats(const char* when, const opal::ServingEngine& engine) {
                     static_cast<double>(p.first_tokens > 0 ? p.first_tokens
                                                            : 1));
   }
+  std::printf("  [%s] finished by reason:", when);
+  for (const auto& [reason, count] : s.finish_reasons) {
+    std::printf(" %s=%zu", opal::to_string(reason).c_str(), count);
+  }
+  std::printf("\n");
 }
 
 /// Serves `requests`, drains the engine, and checks every result bitwise
@@ -186,6 +191,59 @@ int main() {
               "decodes skipped total; pool peak %zu blocks of %zu\n",
               warm_hits, requests.size(), s.prefix_hit_tokens,
               s.blocks_peak, engine.kv_pool().n_blocks());
+
+  // Generation round: the same engine serves seeded nucleus sampling with
+  // stop conditions. Identical (seed, params, prompt) must reproduce the
+  // identical stream — submitted twice to prove it — and the streaming
+  // token observer harvests tokens as they are produced.
+  Request gen;
+  gen.prompt = prefix;
+  gen.max_new_tokens = 24;
+  gen.priority = 1;
+  gen.sampling.policy = SamplePolicy::kTopP;
+  gen.sampling.temperature = 0.9f;
+  gen.sampling.top_k = 32;
+  gen.sampling.top_p = 0.9f;
+  gen.sampling.seed = 2024;
+  gen.sampling.stop_tokens = {17};
+  std::vector<std::size_t> streamed_a;
+  FinishReason streamed_reason = FinishReason::kNone;
+  const RequestId gen_a = engine.submit(gen);
+  engine.set_token_observer([&](RequestId id, std::size_t index,
+                                std::size_t token, FinishReason reason) {
+    if (id != gen_a) return;
+    (void)index;
+    streamed_a.push_back(token);
+    if (reason != FinishReason::kNone) streamed_reason = reason;
+  });
+  const RequestId gen_b = engine.submit(gen);  // same seed, same stream
+  engine.run();
+  engine.set_token_observer(nullptr);
+  const auto res_a = engine.result(gen_a);
+  const auto res_b = engine.result(gen_b);
+  std::printf("\nsampled round (%s, t=%.1f, k=%zu, p=%.1f, seed=%llu): %zu "
+              "tokens streamed, finish reason %s\n",
+              to_string(gen.sampling.policy).c_str(),
+              static_cast<double>(gen.sampling.temperature),
+              gen.sampling.top_k, static_cast<double>(gen.sampling.top_p),
+              static_cast<unsigned long long>(gen.sampling.seed),
+              streamed_a.size(), to_string(res_a.finish_reason).c_str());
+  if (res_a.tokens != res_b.tokens ||
+      res_a.finish_reason != res_b.finish_reason) {
+    std::printf("ERROR: identical seeded requests diverged\n");
+    return 1;
+  }
+  if (streamed_a != std::vector<std::size_t>(
+                        res_a.tokens.begin() +
+                            static_cast<std::ptrdiff_t>(res_a.prompt_len),
+                        res_a.tokens.end()) ||
+      streamed_reason != res_a.finish_reason) {
+    std::printf("ERROR: streamed tokens diverged from the final result\n");
+    return 1;
+  }
+  print_stats("sampled", engine);
+  engine.release(gen_a);
+  engine.release(gen_b);
   if (mismatches != 0) {
     std::printf("ERROR: %zu results diverged from the dense baseline\n",
                 mismatches);

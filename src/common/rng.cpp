@@ -5,6 +5,16 @@
 
 namespace opal {
 
+std::uint64_t CounterRng::at(std::uint64_t seed, std::uint64_t counter) {
+  // splitmix64 finalizer over the golden-ratio-strided counter, keyed by the
+  // seed: full 64-bit avalanche, so consecutive counters (and consecutive
+  // seeds) decorrelate completely.
+  std::uint64_t z = seed + (counter + 1) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 void fill_gaussian(Rng& rng, std::span<float> out, float mean, float stddev) {
   std::normal_distribution<float> dist(mean, stddev);
   for (auto& v : out) v = dist(rng);

@@ -23,6 +23,43 @@ using Rng = std::mt19937_64;
 
 [[nodiscard]] inline Rng make_rng(std::uint64_t seed) { return Rng{seed}; }
 
+/// Counter-based deterministic random stream: draw i is a pure function of
+/// (seed, i), produced by a splitmix64-style integer finalizer. Unlike the
+/// stateful mt19937_64 above, the whole generator state is two integers —
+/// (seed(), counter()) — so a stream can be checkpointed, serialized, and
+/// resumed at any point with bitwise-identical continuation. This is what
+/// makes per-request sampling replayable: a serving layer that records how
+/// many draws a request has consumed can reconstruct the exact stream after
+/// preemption, migration, or restart (see llm/sampler.h).
+class CounterRng {
+ public:
+  CounterRng() = default;
+  explicit CounterRng(std::uint64_t seed, std::uint64_t counter = 0)
+      : seed_(seed), counter_(counter) {}
+
+  /// The value of draw `counter` of stream `seed` (stateless helper).
+  [[nodiscard]] static std::uint64_t at(std::uint64_t seed,
+                                        std::uint64_t counter);
+
+  /// Next 64 random bits; advances the counter by one.
+  std::uint64_t next_u64() { return at(seed_, counter_++); }
+
+  /// Uniform double in [0, 1) with 53 random bits; one counter tick.
+  double next_unit() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  /// Draws consumed so far — with seed(), the full serializable state.
+  [[nodiscard]] std::uint64_t counter() const { return counter_; }
+
+  friend bool operator==(const CounterRng&, const CounterRng&) = default;
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::uint64_t counter_ = 0;
+};
+
 /// Fills `out` with N(mean, stddev) samples.
 void fill_gaussian(Rng& rng, std::span<float> out, float mean = 0.0f,
                    float stddev = 1.0f);

@@ -48,6 +48,39 @@ std::span<const float> InferenceEngine::prefill(
   return logits;
 }
 
+GenerationResult InferenceEngine::generate(
+    std::span<const std::size_t> prompt, std::size_t max_new_tokens,
+    const SamplingParams& params) {
+  require(!prompt.empty(), "InferenceEngine::generate: empty prompt");
+  reset();
+  GenerationResult out;
+  out.tokens.assign(prompt.begin(), prompt.end());
+  out.prompt_len = prompt.size();
+  const std::size_t target =
+      prompt.size() + resolve_max_new(params, max_new_tokens);
+  const auto& cfg = prepared_->config();
+  auto sampler =
+      make_sampler(params, cfg.log2_softmax ? cfg.softmax_bits : 0);
+  // The facade drives the state's own sampler checkpoint, exactly like the
+  // serving path — draw i of stream params.seed decides generated token i.
+  state_.sampler_state().rng = CounterRng(params.seed);
+  std::size_t fed = 0;
+  while (fed < out.tokens.size() && state_.position() < cfg.max_seq_len) {
+    const auto logits = step(out.tokens[fed]);
+    ++fed;
+    if (fed == out.tokens.size() && out.tokens.size() < target) {
+      out.tokens.push_back(
+          sampler->sample(logits, out.tokens, state_.sampler_state()));
+      out.finish_reason =
+          check_stop(params, out.tokens, out.prompt_len, target);
+      // A finishing token is pure output and is never fed back — the same
+      // rule ServingEngine applies.
+      if (out.finish_reason != FinishReason::kNone) break;
+    }
+  }
+  return out;
+}
+
 void InferenceEngine::reset() { state_.reset(); }
 
 namespace {

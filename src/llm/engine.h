@@ -14,9 +14,19 @@
 #include <vector>
 
 #include "llm/prepared_model.h"
+#include "llm/sampler.h"
 #include "llm/sequence_state.h"
 
 namespace opal {
+
+/// What InferenceEngine::generate produced and why it stopped. kNone means
+/// the KV cache ran out before any stop condition fired.
+struct GenerationResult {
+  /// Prompt followed by generated tokens.
+  std::vector<std::size_t> tokens;
+  std::size_t prompt_len = 0;
+  FinishReason finish_reason = FinishReason::kNone;
+};
 
 class InferenceEngine {
  public:
@@ -41,6 +51,17 @@ class InferenceEngine {
   /// Feeds a prompt token by token; returns the logits after the last
   /// token (single-batch prefill).
   std::span<const float> prefill(std::span<const std::size_t> tokens);
+
+  /// Generates a continuation through the same Sampler path ServingEngine
+  /// uses (see sampler.h): resets the sequence, feeds the prompt, then
+  /// extends by up to resolve_max_new(params, max_new_tokens) tokens,
+  /// honoring params' policy, per-request seed, penalty/bias hooks, and
+  /// stop conditions. Default params reproduce the historical greedy loop
+  /// bitwise — and, because sampling is scheduling-invariant, the same
+  /// (seed, params, prompt) here matches a ServingEngine run exactly.
+  GenerationResult generate(std::span<const std::size_t> prompt,
+                            std::size_t max_new_tokens,
+                            const SamplingParams& params = {});
 
   void reset();
   [[nodiscard]] const ModelConfig& model_config() const {

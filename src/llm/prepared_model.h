@@ -125,7 +125,11 @@ class PreparedModel {
   /// step() loop would produce, so the results — cache contents and all
   /// chunk logits — are bitwise identical to tokens.size() single steps in
   /// every kv_mode. Returns the final token's logits (same span as
-  /// logits()); per-position logits are at seq.chunk_logits_row(i).
+  /// logits()); per-position logits are at seq.chunk_logits_row(i). The
+  /// chunk-final logits land in seq.logits() exactly as a step() would
+  /// leave them, so a sampler extending the sequence (llm/sampler.h) reads
+  /// the same handoff regardless of whether the frontier was reached by
+  /// single steps or a chunk.
   /// Blocks for the whole chunk are acquired up front (all-or-nothing
   /// KvPoolExhausted on a dry pool, unless reserve_for() pre-acquired
   /// them). `recorder`, when given, observes activations layer-major

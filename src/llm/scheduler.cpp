@@ -40,6 +40,20 @@ std::size_t PriorityScheduler::pick_admission(
   return best;
 }
 
+std::size_t PriorityScheduler::pick_admission_blocked(
+    std::span<const SchedRequest> queued,
+    std::span<const std::size_t> blocked) {
+  // Highest priority among candidates not yet found inadmissible; FIFO
+  // (lower index) within a level — the same order pick_admission uses,
+  // minus the blocked ones.
+  std::size_t best = kNone;
+  for (std::size_t i = 0; i < queued.size(); ++i) {
+    if (std::binary_search(blocked.begin(), blocked.end(), i)) continue;
+    if (best == kNone || queued[i].priority > queued[best].priority) best = i;
+  }
+  return best;
+}
+
 void PriorityScheduler::plan_budgets(std::span<const SchedRequest> running,
                                      std::span<std::size_t> budgets,
                                      std::size_t max_chunk) {
@@ -80,6 +94,17 @@ std::size_t FairShareScheduler::pick_admission(
   // the only order that gives every request a bounded wait unconditionally.
   // The sharing happens in plan_budgets, between requests already running.
   return queued.empty() ? kNone : 0;
+}
+
+std::size_t FairShareScheduler::pick_admission_blocked(
+    std::span<const SchedRequest> queued,
+    std::span<const std::size_t> blocked) {
+  // Arrival order, skipping the blocked: the oldest request that can
+  // actually start. The blocked ones stay first in line for later steps.
+  for (std::size_t i = 0; i < queued.size(); ++i) {
+    if (!std::binary_search(blocked.begin(), blocked.end(), i)) return i;
+  }
+  return kNone;
 }
 
 void FairShareScheduler::plan_budgets(std::span<const SchedRequest> running,

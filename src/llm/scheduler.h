@@ -14,10 +14,16 @@
 // ServingEngine::step():
 //
 //   1. pick_admission(queued): which queued request the engine should try
-//      to admit next. Called repeatedly while slots and blocks last; the
-//      chosen request gets head-of-line semantics — if its KV demand cannot
-//      be met, admission stops for this step (strict policies rely on this:
-//      nothing may jump a high-priority request blocked on memory).
+//      to admit next. Called repeatedly while slots and blocks last. When
+//      the chosen candidate's KV demand cannot be met, the engine calls
+//      pick_admission_blocked(queued, blocked) — blocked listing the queue
+//      indices already found inadmissible this step — and the policy may
+//      offer the next candidate, letting a small request admit around a
+//      memory-blocked large one. The default (and FifoScheduler) return
+//      kNone: strict head-of-line blocking, which FIFO's bitwise-default
+//      contract requires. A blocked candidate is never reordered: it keeps
+//      its queue position (and adopted prefix) and is offered first again
+//      next step; it can only be overtaken while it waits for blocks.
 //   2. plan_budgets(running, budgets, max_chunk): how many tokens each
 //      running sequence may process this step. Budgets apply to KNOWN
 //      tokens (prompt prefill and post-preemption replay); the engine
@@ -97,6 +103,19 @@ class Scheduler {
   virtual std::size_t pick_admission(
       std::span<const SchedRequest> queued) = 0;
 
+  /// The previously picked candidate could not get its KV blocks; `blocked`
+  /// holds every queue index already found inadmissible this step
+  /// (ascending). Return another index (not in `blocked`) to try admitting
+  /// around them, or kNone to stop admission for this step. Default: kNone
+  /// (strict head-of-line; see the contract comment).
+  virtual std::size_t pick_admission_blocked(
+      std::span<const SchedRequest> queued,
+      std::span<const std::size_t> blocked) {
+    (void)queued;
+    (void)blocked;
+    return kNone;
+  }
+
   /// Fills budgets[i] with the token budget for running[i] (same length,
   /// pre-filled with 1). `max_chunk` is ServingConfig::prefill_chunk_tokens;
   /// the engine clamps each budget to [1, min(known, max_chunk, KV space)].
@@ -135,6 +154,11 @@ class PriorityScheduler final : public Scheduler {
  public:
   [[nodiscard]] std::string name() const override { return "priority"; }
   std::size_t pick_admission(std::span<const SchedRequest> queued) override;
+  /// Admits around memory-blocked candidates: the highest-priority (then
+  /// oldest) request not yet found inadmissible.
+  std::size_t pick_admission_blocked(
+      std::span<const SchedRequest> queued,
+      std::span<const std::size_t> blocked) override;
   void plan_budgets(std::span<const SchedRequest> running,
                     std::span<std::size_t> budgets,
                     std::size_t max_chunk) override;
@@ -160,6 +184,12 @@ class FairShareScheduler final : public Scheduler {
 
   [[nodiscard]] std::string name() const override { return "fair-share"; }
   std::size_t pick_admission(std::span<const SchedRequest> queued) override;
+  /// Admits around memory-blocked candidates in arrival order: bounded
+  /// wait stays bounded — a blocked candidate is retried first next step —
+  /// while free blocks never idle behind one oversized request.
+  std::size_t pick_admission_blocked(
+      std::span<const SchedRequest> queued,
+      std::span<const std::size_t> blocked) override;
   void plan_budgets(std::span<const SchedRequest> running,
                     std::span<std::size_t> budgets,
                     std::size_t max_chunk) override;

@@ -34,6 +34,7 @@
 #include "llm/kv_cache.h"
 #include "llm/model_config.h"
 #include "llm/paged_kv_cache.h"
+#include "llm/sampler.h"
 
 namespace opal {
 
@@ -118,6 +119,18 @@ class SequenceState {
         .subspan(i * logits_.size(), logits_.size());
   }
 
+  /// The request's sampler checkpoint (counter-based RNG stream position;
+  /// see sampler.h). It rides with the sequence's decode state so a kept-KV
+  /// preemption (truncate) carries it untouched; a serving layer that
+  /// RELEASES the state for full recompute must save it first and restore
+  /// it into the replacement state, so the replayed request resumes the
+  /// exact RNG stream (replayed tokens are fed as known tokens and consume
+  /// no draws). Serializing (rng.seed(), rng.counter()) checkpoints it.
+  [[nodiscard]] SamplerState& sampler_state() { return sampler_state_; }
+  [[nodiscard]] const SamplerState& sampler_state() const {
+    return sampler_state_;
+  }
+
   /// Bench/test hook: route the paged fp32 attend path through the gather
   /// scratch (the pre-zero-copy behavior) instead of block-span views. The
   /// two are bitwise identical — fp32 read_row returns the written bits —
@@ -164,6 +177,7 @@ class SequenceState {
                    std::span<const float> k, std::span<const float> v);
 
   std::size_t max_seq_len_;
+  SamplerState sampler_state_;
   std::optional<KvCache> dense_;
   std::optional<PagedKvCache> paged_;
   std::vector<float> gather_k_, gather_v_;  // paged mode: one layer's KV

@@ -95,7 +95,19 @@ RequestId ServingEngine::submit(Request request) {
   seq.result.status = RequestStatus::kQueued;
   seq.result.tokens = std::move(request.prompt);
   seq.result.prompt_len = seq.result.tokens.size();
-  seq.target_len = seq.result.prompt_len + request.max_new_tokens;
+  seq.target_len = seq.result.prompt_len +
+                   resolve_max_new(request.sampling, request.max_new_tokens);
+  seq.sampling = std::move(request.sampling);
+  // One sampler per request, consulted only from the serial bookkeeping
+  // phase. With the log2 softmax unit active, sampling probabilities run
+  // through the same unit (see sampler.h).
+  const auto& ecfg = model_->config();
+  seq.sampler =
+      make_sampler(seq.sampling, ecfg.log2_softmax ? ecfg.softmax_bits : 0);
+  // The RNG stream starts at draw 0 of the request's seed; the checkpoint
+  // is moved into the SequenceState at admission and back here whenever the
+  // KV is fully released (see Sequence::sampler_ckpt).
+  seq.sampler_ckpt.rng = CounterRng(seq.sampling.seed);
   ++prio_stats_[seq.priority].submitted;
   const RequestId id = seq.id;
   queue_.push_back(std::move(seq));
@@ -180,6 +192,10 @@ void ServingEngine::maybe_cache_prefix(const Sequence& seq) {
 
 void ServingEngine::release_sequence_kv(Sequence& seq) {
   maybe_cache_prefix(seq);
+  // Checkpoint the RNG stream before the state carrying it is destroyed:
+  // readmission restores it, so replayed generation resumes at the exact
+  // draw (replayed tokens are known tokens and consume none).
+  if (seq.state != nullptr) seq.sampler_ckpt = seq.state->sampler_state();
   seq.state.reset();
   seq.fed = 0;
   // Full recompute replays from scratch, so the rebuilt KV is canonical.
@@ -194,53 +210,73 @@ void ServingEngine::admit_from_queue() {
     std::size_t planned = 0;
     for (const auto& seq : batch_) planned += blocks_needed(seq);
     while (batch_.size() < config_.max_batch && !queue_.empty()) {
-      const std::size_t pick = scheduler_->pick_admission(sched_views(queue_));
-      if (pick == Scheduler::kNone) break;
-      require(pick < queue_.size(),
-              "ServingEngine: scheduler picked an out-of-range admission");
-      Sequence& head = queue_[pick];
-      // Restore the candidate's cached prefix BEFORE checking capacity:
-      // adoption consumes no free blocks, and its references protect the
-      // matched entries from the reclaim pass below (which would otherwise
-      // evict the very prefix this request is about to reuse). If admission
-      // then blocks, the candidate just waits in the queue holding its
-      // prefix — reclaim_queued_prefix downgrades it under extreme
-      // pressure.
-      if (head.state == nullptr) {
-        head.state =
-            std::make_unique<SequenceState>(model_->make_sequence(*kv_pool_));
-        restore_cached_prefix(head);
-      } else if (head.downgraded && head.state->blocks_held() == 0) {
-        // A downgraded candidate whose adoption was dropped on an earlier
-        // failed attempt: retry the restore — the entries may still be
-        // cached, and adoption consumes no free blocks.
-        restore_cached_prefix(head);
+      blocked_.clear();
+      std::size_t pick = scheduler_->pick_admission(sched_views(queue_));
+      bool admitted = false;
+      while (pick != Scheduler::kNone) {
+        require(pick < queue_.size(),
+                "ServingEngine: scheduler picked an out-of-range admission");
+        require(!std::binary_search(blocked_.begin(), blocked_.end(), pick),
+                "ServingEngine: scheduler re-offered a blocked admission");
+        Sequence& head = queue_[pick];
+        // Restore the candidate's cached prefix BEFORE checking capacity:
+        // adoption consumes no free blocks, and its references protect the
+        // matched entries from the reclaim pass below (which would
+        // otherwise evict the very prefix this request is about to reuse).
+        // If admission then blocks, the candidate just waits in the queue
+        // holding its prefix — reclaim_queued_prefix downgrades it under
+        // extreme pressure.
+        if (head.state == nullptr) {
+          head.state = std::make_unique<SequenceState>(
+              model_->make_sequence(*kv_pool_));
+          // Resume the request's RNG stream at its checkpoint (draw 0 for
+          // a fresh request, the exact mid-stream draw after preemption).
+          head.state->sampler_state() = head.sampler_ckpt;
+          restore_cached_prefix(head);
+        } else if (head.downgraded && head.state->blocks_held() == 0) {
+          // A downgraded candidate whose adoption was dropped on an
+          // earlier failed attempt: retry the restore — the entries may
+          // still be cached, and adoption consumes no free blocks.
+          restore_cached_prefix(head);
+        }
+        std::size_t need = blocks_needed(head);
+        bool ok = ensure_free_blocks(planned + need);
+        if (!ok && head.downgraded && head.fed != 0) {
+          // A downgraded candidate must not hold its re-adoption through
+          // the failure: it would shield the very entries the reclaim pass
+          // above needed and recreate the exact shortfall its downgrade
+          // resolved, forever. Drop the adoption and retry once with those
+          // entries reclaimable.
+          head.state->reset();
+          head.fed = 0;
+          need = blocks_needed(head);
+          ok = ensure_free_blocks(planned + need);
+        }
+        if (ok) {
+          planned += need;
+          Sequence seq = std::move(queue_[pick]);
+          queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+          seq.downgraded = false;
+          seq.result.status = RequestStatus::kRunning;
+          batch_.push_back(std::move(seq));
+          admitted = true;
+          break;
+        }
+        // Memory-blocked candidate: it keeps its queue position and any
+        // adopted prefix (retried first next step), but the policy may
+        // offer the NEXT admissible candidate so a small request admits
+        // around it. The default — and FIFO, whose bitwise contract is
+        // strict arrival order — returns kNone: head-of-line blocking.
+        blocked_.push_back(pick);
+        std::sort(blocked_.begin(), blocked_.end());
+        if (blocked_.size() >= queue_.size()) break;
+        pick = scheduler_->pick_admission_blocked(sched_views(queue_),
+                                                  blocked_);
       }
-      std::size_t need = blocks_needed(head);
-      if (!ensure_free_blocks(planned + need)) {
-        // A plain candidate keeps its adopted prefix and waits — the
-        // references protect the matched entries until admission
-        // (reclaim_queued_prefix downgrades it under extreme pressure).
-        // A downgraded candidate must not hold its re-adoption through the
-        // failure: it would shield the very entries the reclaim pass
-        // above needed and recreate the exact shortfall its downgrade
-        // resolved, forever. Drop the adoption and retry once with those
-        // entries reclaimable.
-        if (!head.downgraded || head.fed == 0) break;  // head-of-line
-        head.state->reset();
-        head.fed = 0;
-        need = blocks_needed(head);
-        if (!ensure_free_blocks(planned + need)) break;
-      }
-      planned += need;
-      Sequence seq = std::move(queue_[pick]);
-      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
-      seq.downgraded = false;
-      seq.result.status = RequestStatus::kRunning;
-      batch_.push_back(std::move(seq));
+      if (!admitted) break;  // nothing admissible this step
     }
     if (!batch_.empty() || queue_.empty()) return;
-    // Nothing is running yet the candidate cannot start: queued sequences
+    // Nothing is running yet no candidate can start: queued sequences
     // keeping preempted prefixes hold the blocks. Downgrade the youngest
     // holder to full recompute (so a startable candidate always exists
     // against a private pool) and retry.
@@ -352,6 +388,7 @@ void ServingEngine::finish(Sequence&& seq, RequestStatus status) {
     ++prio_stats_[seq.priority].evicted;
   } else {
     ++prio_stats_[seq.priority].finished;
+    ++finish_counts_[seq.result.finish_reason];
   }
   scheduler_->on_retired(seq.id);
   done_.emplace(seq.id, std::move(seq.result));
@@ -485,11 +522,12 @@ std::size_t ServingEngine::step() {
   }
 
   // Serial bookkeeping, in slot order: advance fed counters and extend with
-  // greedy tokens. This runs to completion for the whole batch before any
+  // sampled tokens. This runs to completion for the whole batch before any
   // observer fires, so a throwing observer can never leave a sequence's fed
   // counter out of sync with its already-advanced KV cache.
   const std::size_t decoded = batch_.size();
   fed_pos_.resize(decoded);
+  emitted_.assign(decoded, SamplingParams::kNoToken);
   for (std::size_t i = 0; i < decoded; ++i) {
     Sequence& seq = batch_[i];
     const std::size_t n = budgets_[i];
@@ -508,18 +546,28 @@ std::size_t ServingEngine::step() {
     }
     if (seq.fed == seq.result.tokens.size() &&
         seq.result.tokens.size() < seq.target_len) {
-      const auto best = std::max_element(logits.begin(), logits.end());
-      seq.result.tokens.push_back(
-          static_cast<std::size_t>(best - logits.begin()));
+      // Frontier: every known token is fed, so these logits (after a
+      // chunk, the chunk-final position's) extend the stream through the
+      // request's sampler. Replay never re-enters here for a token that
+      // already exists, so the RNG stream advances once per generated
+      // token, ever.
+      const std::size_t next = seq.sampler->sample(
+          logits, seq.result.tokens, seq.state->sampler_state());
+      seq.result.tokens.push_back(next);
+      emitted_[i] = next;
       if (!seq.ttft_counted) {
         seq.ttft_counted = true;
         prio.ttft_steps +=
             static_cast<std::size_t>(step_counter_ - seq.submit_step);
         ++prio.first_tokens;
       }
-      // The final generated token is pure output — feeding it would spend a
-      // KV slot and a forward pass on logits nobody reads.
-      seq.done = seq.result.tokens.size() == seq.target_len;
+      // Stop conditions (eos / stop token / stop sequence / budget). The
+      // final generated token is pure output either way — feeding it would
+      // spend a KV slot and a forward pass on logits nobody reads.
+      seq.result.finish_reason =
+          check_stop(seq.sampling, seq.result.tokens, seq.result.prompt_len,
+                     seq.target_len);
+      seq.done = seq.result.finish_reason != FinishReason::kNone;
     }
     if (seq.fed == seq.result.tokens.size() &&
         seq.result.tokens.size() >= seq.target_len) {
@@ -533,16 +581,25 @@ std::size_t ServingEngine::step() {
   // exactly as a token-by-token run would have reported it. A throw here
   // propagates to the caller with the engine in a consistent state; the
   // remaining observer calls of this step are skipped.
-  if (observer_) {
+  if (observer_ || token_observer_) {
     for (std::size_t i = 0; i < decoded; ++i) {
       const Sequence& seq = batch_[i];
       const std::size_t n = budgets_[i];
-      if (n == 1) {
-        observer_(seq.id, fed_pos_[i], seq.state->logits());
-      } else {
-        for (std::size_t j = 0; j < n; ++j) {
-          observer_(seq.id, fed_pos_[i] + j, seq.state->chunk_logits_row(j));
+      if (observer_) {
+        if (n == 1) {
+          observer_(seq.id, fed_pos_[i], seq.state->logits());
+        } else {
+          for (std::size_t j = 0; j < n; ++j) {
+            observer_(seq.id, fed_pos_[i] + j,
+                      seq.state->chunk_logits_row(j));
+          }
         }
+      }
+      // The streamed token follows its position's logits; kNone reason
+      // means the stream continues past this token.
+      if (token_observer_ && emitted_[i] != SamplingParams::kNoToken) {
+        token_observer_(seq.id, seq.result.generated() - 1, emitted_[i],
+                        seq.result.finish_reason);
       }
     }
   }
@@ -587,6 +644,7 @@ ServingEngine::Stats ServingEngine::stats() const {
     s.prefix_reclaimed_blocks = p.reclaimed_blocks;
   }
   s.by_priority = prio_stats_;
+  s.finish_reasons = finish_counts_;
   return s;
 }
 

@@ -24,8 +24,14 @@
 //     post-preemption replay) and are clamped to prefill_chunk_tokens and
 //     the sequence's remaining KV space;
 //   * under pool pressure budgets shrink back to 1 BEFORE any sequence is
-//     preempted, and the admission candidate the scheduler picked gets
-//     head-of-line semantics (nothing jumps it while it waits for blocks);
+//     preempted. When the scheduler's admission candidate cannot get its KV
+//     blocks, the engine asks the policy for the next admissible candidate
+//     (Scheduler::pick_admission_blocked) so a small request can admit
+//     around a memory-blocked large one; the default — and FIFO, whose
+//     bitwise contract requires strict arrival order — declines, keeping
+//     head-of-line semantics (nothing jumps the blocked candidate). A
+//     blocked candidate keeps its queue position and adopted prefix and is
+//     retried first on later steps;
 //   * scheduler hooks fire only from the engine's serial phase — never
 //     concurrently, never re-entrantly (see scheduler.h for the full
 //     contract, including what stateful policies may assume).
@@ -41,6 +47,20 @@
 // prompt steps, and short requests interleave with it instead of waiting
 // behind a token-by-token prefill. The logits observer still fires once
 // per fed position.
+//
+// Sampling (Request::sampling, see sampler.h): once a sequence's known
+// tokens are fed, the frontier logits — after a chunk, the chunk-final
+// position's — go through the request's Sampler: greedy argmax by default
+// (bitwise identical to the historical engine), or seeded temperature /
+// top-k / top-p with repetition-penalty and logit-bias hooks. The
+// per-request RNG stream is counter-based and rides in the sequence's
+// SequenceState (checkpointed across full KV release); replayed tokens are
+// fed as known tokens without re-sampling, so the emitted stream is
+// invariant to batching, scheduling policy, chunk width, threading, and
+// preemption. Stop conditions (eos / stop tokens / stop sequences /
+// max_new_tokens) retire the request with a FinishReason
+// (RequestResult::finish_reason, cumulative Stats::finish_reasons), and an
+// optional TokenObserver streams each sampled token as it is produced.
 //
 // KV memory is paged: every sequence allocates fixed-size blocks from a
 // KvBlockPool (engine-owned by default, or shared across engines via
@@ -116,12 +136,20 @@ namespace opal {
 struct Request {
   /// Tokens fed verbatim (teacher-forced). Must be non-empty.
   std::vector<std::size_t> prompt;
-  /// Greedy-decoded continuation length after the prompt (0 = pure scoring).
+  /// Continuation length after the prompt (0 = pure scoring). Overridden by
+  /// sampling.max_new_tokens when that is nonzero.
   std::size_t max_new_tokens = 0;
   /// Scheduling class: higher runs sooner under PriorityScheduler (and any
   /// policy that reads it); FIFO ignores it. Stats are broken out per
   /// priority either way.
   int priority = 0;
+  /// How the continuation is sampled, plus stop conditions and the
+  /// per-request RNG seed (see sampler.h). The default is the historical
+  /// greedy argmax with no stop conditions — bitwise unchanged outputs.
+  /// Seeded sampling is scheduling-invariant: identical (seed, sampling,
+  /// prompt) produce the identical stream under every scheduler policy,
+  /// chunk width, kv_mode, thread count, and across preemption replay.
+  SamplingParams sampling = {};
 };
 
 enum class RequestStatus : std::uint8_t {
@@ -138,6 +166,9 @@ struct RequestResult {
   /// Prompt followed by generated tokens.
   std::vector<std::size_t> tokens;
   std::size_t prompt_len = 0;
+  /// Why generation stopped (kNone while running, for pure-scoring
+  /// requests, and for kEvicted cutoffs).
+  FinishReason finish_reason = FinishReason::kNone;
   /// Tokens generated so far (tokens.size() - prompt_len).
   [[nodiscard]] std::size_t generated() const {
     return tokens.size() - prompt_len;
@@ -292,6 +323,10 @@ class ServingEngine {
     std::size_t prefix_reclaimed_blocks = 0;  // cumulative freed under pressure
     /// Queue-wait / TTFT / tokens-served accounting per priority level.
     std::map<int, PriorityClassStats> by_priority;
+    /// Cumulative kFinished retirements by why they stopped (kNone counts
+    /// pure-scoring requests; kEvicted cutoffs are in `evictions`, not
+    /// here).
+    std::map<FinishReason, std::size_t> finish_reasons;
   };
   [[nodiscard]] Stats stats() const;
 
@@ -330,6 +365,24 @@ class ServingEngine {
     observer_ = std::move(observer);
   }
 
+  /// Streams generated tokens as they are produced: fires once per SAMPLED
+  /// token — never for prompt prefill, replayed tokens after preemption, or
+  /// prefix-cache-restored positions, so across any interruption each
+  /// generated token is reported exactly once — with (request, 0-based
+  /// generated-token index, token, finish reason). `reason` is kNone while
+  /// the stream continues and the final reason on its last token, so
+  /// callers can harvest incrementally instead of polling result().
+  /// Within one step, sequences report in deterministic slot order, each
+  /// after its LogitsObserver calls. Same contract as the logits observer:
+  /// fires inside step() after bookkeeping, must not call back into the
+  /// engine, and a throw propagates with the engine consistent (remaining
+  /// observer calls of the step are skipped).
+  using TokenObserver =
+      std::function<void(RequestId, std::size_t, std::size_t, FinishReason)>;
+  void set_token_observer(TokenObserver observer) {
+    token_observer_ = std::move(observer);
+  }
+
   [[nodiscard]] const PreparedModel& model() const { return *model_; }
   [[nodiscard]] const KvBlockPool& kv_pool() const { return *kv_pool_; }
 
@@ -365,6 +418,15 @@ class ServingEngine {
     // recompute (replay from scratch is canonical again).
     static constexpr std::size_t kCanonical = static_cast<std::size_t>(-1);
     std::size_t non_canonical_from = kCanonical;
+    // Per-request sampling: the policy object (built once at submit) and
+    // the RNG-stream checkpoint. While KV is held the live stream sits in
+    // state->sampler_state(); sampler_ckpt catches it across a full KV
+    // release (release_sequence_kv) and re-seeds the replacement state at
+    // admission, so preempt -> readmit resumes the stream at the exact
+    // draw (replayed tokens are known tokens and consume no draws).
+    SamplingParams sampling;
+    std::unique_ptr<Sampler> sampler;
+    SamplerState sampler_ckpt;
     std::unique_ptr<SequenceState> state;  // kept across preemption
   };
 
@@ -405,10 +467,14 @@ class ServingEngine {
   std::vector<Sequence> batch_;
   std::vector<std::size_t> fed_pos_;       // per-step scratch, reused
   std::vector<std::size_t> budgets_;       // per-step scratch, reused
+  std::vector<std::size_t> emitted_;       // per-step sampled token (or none)
+  std::vector<std::size_t> blocked_;       // admission candidates w/o blocks
   std::vector<SchedRequest> views_;        // scheduler-snapshot scratch
   std::unordered_map<RequestId, RequestResult> done_;
   std::map<int, PriorityClassStats> prio_stats_;
+  std::map<FinishReason, std::size_t> finish_counts_;
   LogitsObserver observer_;
+  TokenObserver token_observer_;
   RequestId next_id_ = 1;
   std::uint64_t step_counter_ = 0;
   std::size_t stat_evictions_ = 0;

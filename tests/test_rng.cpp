@@ -42,6 +42,55 @@ TEST(Rng, LaplaceHeavierTailsThanGaussian) {
   EXPECT_GT(tail_count(lap, 5.0f), tail_count(gau, 5.0f) * 2);
 }
 
+TEST(CounterRng, DrawIsPureFunctionOfSeedAndCounter) {
+  CounterRng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+  // Stateless access matches the stream.
+  CounterRng c(42);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(c.next_u64(), CounterRng::at(42, i));
+  }
+}
+
+TEST(CounterRng, SerializableStateResumesMidStream) {
+  CounterRng full(7);
+  std::vector<std::uint64_t> reference;
+  for (int i = 0; i < 20; ++i) reference.push_back(full.next_u64());
+
+  CounterRng first(7);
+  for (int i = 0; i < 9; ++i) first.next_u64();
+  // Checkpoint is just (seed, counter); a fresh generator resumes exactly.
+  CounterRng resumed(first.seed(), first.counter());
+  EXPECT_EQ(resumed, first);
+  for (int i = 9; i < 20; ++i) {
+    EXPECT_EQ(resumed.next_u64(), reference[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(CounterRng, DistinctSeedsDecorrelate) {
+  CounterRng a(1), b(2);
+  std::size_t equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0u);
+}
+
+TEST(CounterRng, UnitDrawsAreUniformInHalfOpenInterval) {
+  CounterRng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.next_unit();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+  EXPECT_EQ(rng.counter(), 100000u);
+}
+
 TEST(OutlierProfile, CountAndRange) {
   Rng rng = make_rng(3);
   const auto profile = make_outlier_profile(rng, 1000, 10, 8.0f, 64.0f);

@@ -519,5 +519,87 @@ TEST(SchedulerPolicy, FairShareBanksSpendsAndCapsCredit) {
   EXPECT_EQ(fair.account_count(), 0u);
 }
 
+// --- admission around a memory-blocked candidate ---
+
+TEST(SchedulerPolicy, BlockedAdmissionHooks) {
+  std::vector<SchedRequest> reqs(3);
+  reqs[0].priority = 2;
+  reqs[1].priority = 0;
+  reqs[2].priority = 1;
+  const std::vector<std::size_t> blocked = {0};
+
+  FifoScheduler fifo;  // default: strict head-of-line
+  EXPECT_EQ(fifo.pick_admission_blocked(reqs, blocked), Scheduler::kNone);
+  PriorityScheduler prio;  // next-highest level not blocked
+  EXPECT_EQ(prio.pick_admission_blocked(reqs, blocked), 2u);
+  FairShareScheduler fair;  // arrival order, skipping the blocked
+  EXPECT_EQ(fair.pick_admission_blocked(reqs, blocked), 1u);
+  const std::vector<std::size_t> all = {0, 1, 2};
+  EXPECT_EQ(prio.pick_admission_blocked(reqs, all), Scheduler::kNone);
+  EXPECT_EQ(fair.pick_admission_blocked(reqs, all), Scheduler::kNone);
+}
+
+// Builds the admission-around scenario: A runs mid-block; C was preempted
+// with a kept prefix (holds its blocks, needs none to restart); fresh B —
+// submitted before C re-queued, so the queue is [B, C] — needs a whole
+// block column the pool cannot supply. Returns the engine with one step
+// taken past that state.
+struct AroundScenario {
+  std::unique_ptr<ServingEngine> engine;
+  RequestId a = 0, b = 0, c = 0;
+};
+
+AroundScenario run_around_scenario(
+    const std::shared_ptr<const PreparedModel>& model,
+    std::shared_ptr<Scheduler> scheduler) {
+  ServingConfig cfg;
+  cfg.max_batch = 2;
+  cfg.kv_pool_blocks = 10;  // A (4) + C's kept prefix (4) + 2 free < 4
+  cfg.scheduler = std::move(scheduler);
+  AroundScenario out;
+  out.engine = std::make_unique<ServingEngine>(model, cfg);
+  Request base;
+  base.prompt = {3, 1, 4, 1};
+  base.max_new_tokens = 2;
+  out.a = out.engine->submit(base);
+  out.c = out.engine->submit(base);
+  for (int i = 0; i < 3; ++i) out.engine->step();  // both at position 3
+  Request big = base;
+  big.priority = 1;  // more urgent than A/C — and memory-blocked
+  out.b = out.engine->submit(big);
+  out.engine->preempt(out.c, 3);  // queue is now [B, C]
+  out.engine->step();
+  return out;
+}
+
+TEST(SchedulerServing, PriorityAdmitsSmallRequestAroundBlockedCandidate) {
+  auto model = std::make_shared<const PreparedModel>(
+      tiny_model(), engine_config(KvQuantMode::kFp32));
+  // Priority picks high-priority B first; B cannot get a block column, so
+  // the policy offers C — whose kept prefix needs no new blocks — and C
+  // admits around B. B keeps its queue position.
+  const auto prio =
+      run_around_scenario(model, std::make_shared<PriorityScheduler>());
+  EXPECT_EQ(prio.engine->running(), 2u);
+  EXPECT_EQ(prio.engine->queued(), 1u);
+  EXPECT_EQ(prio.engine->result(prio.b).status, RequestStatus::kQueued);
+  EXPECT_EQ(prio.engine->result(prio.c).status, RequestStatus::kRunning);
+
+  // Fair share admits around in arrival order.
+  const auto fair =
+      run_around_scenario(model, std::make_shared<FairShareScheduler>());
+  EXPECT_EQ(fair.engine->result(fair.b).status, RequestStatus::kQueued);
+  EXPECT_EQ(fair.engine->result(fair.c).status, RequestStatus::kRunning);
+
+  // FIFO's bitwise-default contract is strict arrival order: the blocked
+  // head of the queue blocks everything behind it.
+  const auto fifo =
+      run_around_scenario(model, std::make_shared<FifoScheduler>());
+  EXPECT_EQ(fifo.engine->running(), 1u);
+  EXPECT_EQ(fifo.engine->queued(), 2u);
+  EXPECT_EQ(fifo.engine->result(fifo.b).status, RequestStatus::kQueued);
+  EXPECT_EQ(fifo.engine->result(fifo.c).status, RequestStatus::kQueued);
+}
+
 }  // namespace
 }  // namespace opal

@@ -168,6 +168,44 @@ TEST(ServingEngine, PreemptTruncateReplayMatchesUninterrupted) {
   expect_bitwise_equal(ref, result.tokens, captured, "preempt/resume");
 }
 
+TEST(ServingEngine, PreemptReplayPreservesSampledStream) {
+  // The replay guarantee extends to seeded sampling: a preempted-and-
+  // readmitted request must emit the identical continuation, because the
+  // RNG stream is checkpointed across the KV release and replayed tokens
+  // are fed as known tokens (no draws consumed). Both preemption forms.
+  EngineConfig cfg;
+  cfg.max_seq_len = 32;
+  auto model = std::make_shared<const PreparedModel>(tiny_model(), cfg);
+  Request request;
+  request.prompt = {3, 1, 4, 1, 5};
+  request.max_new_tokens = 9;
+  request.sampling.policy = SamplePolicy::kTopP;
+  request.sampling.temperature = 0.9f;
+  request.sampling.top_k = 16;
+  request.sampling.top_p = 0.9f;
+  request.sampling.seed = 77;
+
+  ServingEngine uninterrupted(model, scfg(2, 0));
+  const RequestId ref_id = uninterrupted.submit(request);
+  uninterrupted.run();
+  const auto ref = uninterrupted.result(ref_id);
+  ASSERT_EQ(ref.status, RequestStatus::kFinished);
+  ASSERT_EQ(ref.generated(), 9u);
+
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{2}}) {
+    ServingEngine engine(model, scfg(2, 0));
+    const RequestId id = engine.submit(request);
+    for (int i = 0; i < 7; ++i) engine.step();  // two tokens generated
+    ASSERT_GT(engine.result(id).generated(), 0u);
+    engine.preempt(id, keep);
+    engine.run();
+    const auto result = engine.result(id);
+    EXPECT_EQ(result.status, RequestStatus::kFinished);
+    EXPECT_EQ(result.tokens, ref.tokens) << "keep=" << keep;
+    EXPECT_EQ(result.finish_reason, ref.finish_reason) << "keep=" << keep;
+  }
+}
+
 TEST(ServingEngine, DefaultPreemptReleasesKvAndReplaysFromScratch) {
   EngineConfig cfg;
   cfg.max_seq_len = 32;
