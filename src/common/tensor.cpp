@@ -1,34 +1,30 @@
 #include "common/tensor.h"
 
+#include "common/kernels.h"
+
 namespace opal {
+
+// Shape checks happen once here, at the public entry points; the kernel
+// table below them runs raw pointer loops with no per-row validation (the
+// old implementation re-checked sizes inside dot() for every matrix row).
 
 void matvec(const Matrix& w, std::span<const float> x, std::span<float> y) {
   require(x.size() == w.cols(), "matvec: x size != cols");
   require(y.size() == w.rows(), "matvec: y size != rows");
-  for (std::size_t r = 0; r < w.rows(); ++r) {
-    y[r] = dot(w.row(r), x);
-  }
+  kernels().matvec(w.data(), w.rows(), w.cols(), x.data(), y.data());
 }
 
 void matvec_transposed(const Matrix& w, std::span<const float> x,
                        std::span<float> y) {
   require(x.size() == w.rows(), "matvec_transposed: x size != rows");
   require(y.size() == w.cols(), "matvec_transposed: y size != cols");
-  for (std::size_t c = 0; c < w.cols(); ++c) y[c] = 0.0f;
-  for (std::size_t r = 0; r < w.rows(); ++r) {
-    const auto row = w.row(r);
-    const float xr = x[r];
-    for (std::size_t c = 0; c < w.cols(); ++c) y[c] += row[c] * xr;
-  }
+  kernels().matvec_transposed(w.data(), w.rows(), w.cols(), x.data(),
+                              y.data());
 }
 
 float dot(std::span<const float> a, std::span<const float> b) {
   require(a.size() == b.size(), "dot: size mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
-  }
-  return static_cast<float>(acc);
+  return kernels().dot(a.data(), b.data(), a.size());
 }
 
 }  // namespace opal

@@ -3,17 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/kernels.h"
 #include "common/tensor.h"
 
 namespace opal {
 
 namespace {
 
-// 7-bit log2 code width (the paper's attention-map path); code kZeroCode
-// decodes to exactly 0.
-constexpr int kLog2CodeBits = 7;
-constexpr int kLog2CodeMax = (1 << kLog2CodeBits) - 1;  // 127
-constexpr std::uint8_t kSignBit = 0x80;
+// 7-bit log2 code layout (the paper's attention-map path) — shared with the
+// fused dequantize kernels, which decode the same bytes in-register.
+constexpr int kLog2CodeMax = kKvLog2CodeMax;  // 127, decodes to exactly 0
+constexpr std::uint8_t kSignBit = kKvLog2SignBit;
 
 float row_amax(std::span<const float> v) {
   float amax = 0.0f;
@@ -36,14 +36,6 @@ std::int8_t encode_log2(float v, int exponent) {
     if (v < 0.0f) byte |= kSignBit;
   }
   return static_cast<std::int8_t>(byte);
-}
-
-float decode_log2(std::int8_t stored, int exponent) {
-  const auto byte = static_cast<std::uint8_t>(stored);
-  const int code = byte & kLog2CodeMax;
-  if (code == kLog2CodeMax) return 0.0f;
-  const float mag = std::exp2(static_cast<float>(exponent - code));
-  return (byte & kSignBit) ? -mag : mag;
 }
 
 }  // namespace
@@ -275,7 +267,7 @@ void KvBlockPool::read_row(BlockId id, std::size_t row,
     case KvQuantMode::kLog2: {
       const int exponent = static_cast<int>(scales_[id]);
       for (std::size_t c = 0; c < d_model_; ++c) {
-        out[c] = decode_log2(qdata_[base + c], exponent);
+        out[c] = kv_decode_log2(qdata_[base + c], exponent);
       }
       break;
     }
@@ -289,6 +281,15 @@ std::span<const float> KvBlockPool::block_data(BlockId id) const {
           "(quantized entries must be read through read_row)");
   return std::span<const float>(fdata_).subspan(id * block_size_ * d_model_,
                                                 block_size_ * d_model_);
+}
+
+std::span<const std::int8_t> KvBlockPool::block_codes(BlockId id) const {
+  check_block(id, "KvBlockPool::block_codes: bad or free block");
+  require(mode_ != KvQuantMode::kFp32,
+          "KvBlockPool::block_codes: raw code views are quantized-only "
+          "(fp32 storage holds floats — read through block_data)");
+  return std::span<const std::int8_t>(qdata_).subspan(
+      id * block_size_ * d_model_, block_size_ * d_model_);
 }
 
 void KvBlockPool::register_reclaimer(const void* owner,

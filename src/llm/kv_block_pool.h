@@ -144,6 +144,14 @@ class KvBlockPool {
   /// is held; rows past rows_written(id) are stale or zero.
   [[nodiscard]] std::span<const float> block_data(BlockId id) const;
 
+  /// Raw quantized codes of an in-use block as a [block_size x d_model]
+  /// row-major span — the fused dequantize-dot attend path, which decodes
+  /// codes in-register (common/kernels.h) instead of materializing fp32
+  /// scratch. kInt8/kLog2 modes only; kFp32 throws (its storage holds
+  /// floats, read through block_data). Pair with block_scale() for the
+  /// decode parameter. Same lifetime rules as block_data().
+  [[nodiscard]] std::span<const std::int8_t> block_codes(BlockId id) const;
+
   /// Current block scale: amax (kInt8), exp2 exponent as a float (kLog2),
   /// or 0 (kFp32). Exposed for tests and accounting.
   [[nodiscard]] float block_scale(BlockId id) const;

@@ -227,10 +227,37 @@ void PagedKvCache::append_block_segments(std::size_t layer, std::size_t len,
   const std::size_t d = pool_->d_model();
   for (std::size_t col = 0; col * bs < len; ++col) {
     const std::size_t rows = std::min(bs, len - col * bs);
-    out.push_back(
-        KvSegment{pool_->block_data(k_blocks_[layer][col]).first(rows * d),
-                  pool_->block_data(v_blocks_[layer][col]).first(rows * d),
-                  rows});
+    KvSegment seg;
+    seg.k = pool_->block_data(k_blocks_[layer][col]).first(rows * d);
+    seg.v = pool_->block_data(v_blocks_[layer][col]).first(rows * d);
+    seg.rows = rows;
+    out.push_back(seg);
+  }
+}
+
+void PagedKvCache::append_quant_segments(std::size_t layer, std::size_t len,
+                                         std::vector<KvSegment>& out) const {
+  require(layer < k_blocks_.size(),
+          "PagedKvCache::append_quant_segments: bad layer");
+  require(len <= len_,
+          "PagedKvCache::append_quant_segments: len exceeds cached length");
+  require(pool_->mode() != KvQuantMode::kFp32,
+          "PagedKvCache::append_quant_segments: fp32 pools expose float "
+          "segments (append_block_segments)");
+  const std::size_t bs = pool_->block_size();
+  const std::size_t d = pool_->d_model();
+  for (std::size_t col = 0; col * bs < len; ++col) {
+    const std::size_t rows = std::min(bs, len - col * bs);
+    const KvBlockPool::BlockId kb = k_blocks_[layer][col];
+    const KvBlockPool::BlockId vb = v_blocks_[layer][col];
+    KvSegment seg;
+    seg.rows = rows;
+    seg.mode = pool_->mode();
+    seg.k_codes = pool_->block_codes(kb).first(rows * d);
+    seg.v_codes = pool_->block_codes(vb).first(rows * d);
+    seg.k_scale = pool_->block_scale(kb);
+    seg.v_scale = pool_->block_scale(vb);
+    out.push_back(seg);
   }
 }
 

@@ -35,11 +35,22 @@ namespace opal {
 /// single layer, row-major [rows x d_model]. Attention consumes a sequence's
 /// cached prefix as a short list of these — dense caches and gather scratch
 /// yield one segment, fp32 block pools yield one zero-copy segment per block
-/// (spans straight into pool storage, no per-step copy).
+/// (spans straight into pool storage, no per-step copy), and quantized block
+/// pools yield one *code* segment per block (mode != kFp32: k_codes/v_codes
+/// span the pool's raw quantized storage with the per-block decode scales,
+/// consumed by the fused dequantize-dot kernels in common/kernels.h; the
+/// float spans are empty).
 struct KvSegment {
   std::span<const float> k;
   std::span<const float> v;
   std::size_t rows = 0;
+  KvQuantMode mode = KvQuantMode::kFp32;
+  std::span<const std::int8_t> k_codes;
+  std::span<const std::int8_t> v_codes;
+  // Decode scales: amax (kInt8 — divide by 127 for the per-code multiplier)
+  // or the exp2 exponent as a float (kLog2), per KvBlockPool::block_scale.
+  float k_scale = 0.0f;
+  float v_scale = 0.0f;
 };
 
 class PagedKvCache {
@@ -145,6 +156,16 @@ class PagedKvCache {
   /// pools only (see KvBlockPool::block_data); len <= length(). The spans
   /// stay valid until a block of the range is released.
   void append_block_segments(std::size_t layer, std::size_t len,
+                             std::vector<KvSegment>& out) const;
+
+  /// Quantized counterpart of append_block_segments: appends one code
+  /// segment per block covering positions [0, len) of `layer`, spanning the
+  /// pool's raw quantized storage (KvBlockPool::block_codes) with each
+  /// block's current decode scale — the fused dequantize-dot attend path.
+  /// kInt8/kLog2 pools only; len <= length(). Spans and scales reflect the
+  /// blocks' live state: a later write may rescale a block's codes, so
+  /// segments are taken fresh per attend, like gather would re-read.
+  void append_quant_segments(std::size_t layer, std::size_t len,
                              std::vector<KvSegment>& out) const;
 
   [[nodiscard]] std::size_t length() const { return len_; }

@@ -5,6 +5,7 @@
 
 #include "common/bfloat16.h"
 #include "common/float_bits.h"
+#include "common/kernels.h"
 #include "llm/sequence_state.h"
 #include "softmax/softmax.h"
 
@@ -219,47 +220,74 @@ void PreparedModel::attend(std::size_t l, SequenceState& seq,
   const std::size_t d_head = cfg.d_head();
   const std::size_t d_model = cfg.d_model;
   // The cached prefix [0, len) as row-major segments: dense caches and
-  // quantized gathers yield one contiguous segment, fp32 block pools one
-  // zero-copy segment per block. Iterating segments outer / rows inner
-  // visits positions 0..len-1 in order, so the arithmetic below is
-  // identical across all three backings.
+  // forced gathers yield one contiguous fp32 segment, fp32 block pools one
+  // zero-copy segment per block, quantized block pools one code segment per
+  // block (decoded in-register by the fused kernels below). Iterating
+  // segments outer / rows inner visits positions 0..len-1 in order, so the
+  // arithmetic is identical across all backings: within one kernel table
+  // the fused quantized path is bitwise equal to gather-then-attend.
   const std::span<const KvSegment> kv = seq.attend_view(l, len);
   const float inv_sqrt_dk = 1.0f / std::sqrt(static_cast<float>(d_head));
+  const KernelOps& ops = kernels();
 
   std::fill(z.begin(), z.end(), 0.0f);
   const std::span<float> scores = std::span<float>(seq.scores_).first(len);
   const std::span<float> probs = std::span<float>(seq.probs_).first(len);
   for (std::size_t head = 0; head < cfg.n_heads; ++head) {
     const std::size_t base = head * d_head;
-    const auto q_head = q.subspan(base, d_head);
+    const float* q_head = q.data() + base;
     std::size_t t = 0;
     for (const KvSegment& seg : kv) {
-      for (std::size_t r = 0; r < seg.rows; ++r, ++t) {
-        scores[t] =
-            dot(q_head, seg.k.subspan(r * d_model + base, d_head)) *
-            inv_sqrt_dk;
+      switch (seg.mode) {
+        case KvQuantMode::kFp32:
+          ops.attend_scores(q_head, seg.k.data() + base, seg.rows, d_model,
+                            d_head, inv_sqrt_dk, scores.data() + t);
+          break;
+        case KvQuantMode::kInt8:
+          ops.dequant_scores_int8(q_head, seg.k_codes.data() + base, seg.rows,
+                                  d_model, d_head, seg.k_scale / 127.0f,
+                                  inv_sqrt_dk, scores.data() + t);
+          break;
+        case KvQuantMode::kLog2:
+          ops.dequant_scores_log2(q_head, seg.k_codes.data() + base, seg.rows,
+                                  d_model, d_head,
+                                  static_cast<int>(seg.k_scale), inv_sqrt_dk,
+                                  scores.data() + t);
+          break;
       }
+      t += seg.rows;
     }
-    auto z_head = z.subspan(base, d_head);
-    auto accumulate = [&](auto&& weight_at) {
-      std::size_t u = 0;
-      for (const KvSegment& seg : kv) {
-        for (std::size_t r = 0; r < seg.rows; ++r, ++u) {
-          const float w = weight_at(u);
-          const auto v_row = seg.v.subspan(r * d_model + base, d_head);
-          for (std::size_t c = 0; c < d_head; ++c) z_head[c] += w * v_row[c];
-        }
-      }
-    };
+    // Attention weights, materialized once per head so the weighted value
+    // sum runs through one kernel regardless of the softmax flavor.
     if (config_.log2_softmax) {
       const auto codes =
           log2_softmax_unit(scores, Log2SoftmaxConfig{config_.softmax_bits});
-      accumulate([&](std::size_t u) {
-        return exp2i(-static_cast<int>(codes[u]));
-      });
+      for (std::size_t u = 0; u < len; ++u) {
+        probs[u] = exp2i(-static_cast<int>(codes[u]));
+      }
     } else {
       softmax_reference(scores, probs);
-      accumulate([&](std::size_t u) { return probs[u]; });
+    }
+    float* z_head = z.data() + base;
+    std::size_t u = 0;
+    for (const KvSegment& seg : kv) {
+      switch (seg.mode) {
+        case KvQuantMode::kFp32:
+          ops.attend_accum(probs.data() + u, seg.v.data() + base, seg.rows,
+                           d_model, d_head, z_head);
+          break;
+        case KvQuantMode::kInt8:
+          ops.dequant_accum_int8(probs.data() + u, seg.v_codes.data() + base,
+                                 seg.rows, d_model, d_head,
+                                 seg.v_scale / 127.0f, z_head);
+          break;
+        case KvQuantMode::kLog2:
+          ops.dequant_accum_log2(probs.data() + u, seg.v_codes.data() + base,
+                                 seg.rows, d_model, d_head,
+                                 static_cast<int>(seg.v_scale), z_head);
+          break;
+      }
+      u += seg.rows;
     }
   }
 }
@@ -301,7 +329,7 @@ void PreparedModel::forward_token_layer(std::size_t l, SequenceState& seq,
 
   const std::span<float> attn_out = seq.attn_out_;
   matvec(layer.wo, z, attn_out);
-  for (std::size_t i = 0; i < x.size(); ++i) x[i] += attn_out[i];
+  kernels().axpy(1.0f, attn_out.data(), x.data(), x.size());
 
   // --- FFN block (Fig 5(b)) ---
   layer.ffn_norm->apply(x, h);
@@ -315,7 +343,7 @@ void PreparedModel::forward_token_layer(std::size_t l, SequenceState& seq,
 
   const std::span<float> ffn_out = seq.ffn_out_;
   matvec(layer.w_fc2, hidden, ffn_out);
-  for (std::size_t i = 0; i < x.size(); ++i) x[i] += ffn_out[i];
+  kernels().axpy(1.0f, ffn_out.data(), x.data(), x.size());
 }
 
 void PreparedModel::finish_logits(SequenceState& seq,
@@ -324,8 +352,7 @@ void PreparedModel::finish_logits(SequenceState& seq,
   final_norm_->apply(x, seq.h_);
   // Tied embedding head: logit[v] = E[v,:] . h.
   matvec(model_->embedding(), seq.h_, out);
-  const float s = model_->logit_scale();
-  for (auto& v : out) v *= s;
+  kernels().scale(model_->logit_scale(), out.data(), out.size());
 }
 
 std::span<const float> PreparedModel::step(SequenceState& seq,

@@ -1,5 +1,7 @@
 #include "llm/sequence_state.h"
 
+#include "common/kernels.h"
+
 namespace opal {
 
 void SequenceState::init_scratch(const ModelConfig& config) {
@@ -31,15 +33,36 @@ SequenceState::SequenceState(const ModelConfig& config,
   require(pool.d_model() == config.d_model,
           "SequenceState: pool d_model does not match the model");
   paged_.emplace(pool, config.n_layers, max_seq_len);
-  gather_k_.resize(max_seq_len * config.d_model);
-  gather_v_.resize(max_seq_len * config.d_model);
-  // Sized once so the zero-copy segment list never allocates mid-decode.
+  // Sized once so the segment list never allocates mid-decode; the gather
+  // scratch itself is lazy (gather_into_scratch) — only the forced-gather
+  // reference path pays for it.
   segments_.reserve(max_seq_len / pool.block_size() + 1);
   init_scratch(config);
 }
 
 void SequenceState::truncate(std::size_t len) {
   dense_ ? dense_->truncate(len) : paged_->truncate(len);
+}
+
+bool SequenceState::gather_active() const {
+  if (!paged_) return false;
+  if (paged_->pool().mode() == KvQuantMode::kFp32) {
+    // fp32 zero-copy vs gather is the PR-4 reference split; the engine-wide
+    // quantized hook does not redirect it.
+    return force_gather_;
+  }
+  return force_gather_ || force_gather_attend();
+}
+
+void SequenceState::gather_into_scratch(std::size_t layer, std::size_t from,
+                                        std::size_t to) {
+  const std::size_t need = max_seq_len_ * paged_->pool().d_model();
+  if (gather_k_.size() < need) {
+    gather_k_.resize(need);
+    gather_v_.resize(need);
+  }
+  paged_->gather_range(layer, from, to, gather_k_, gather_v_);
+  ++gather_count_;
 }
 
 void SequenceState::begin_chunk(std::size_t n) {
@@ -54,11 +77,10 @@ void SequenceState::begin_chunk(std::size_t n) {
 void SequenceState::begin_chunk_layer(std::size_t layer,
                                       std::size_t prefix_len) {
   chunk_layer_ = layer;
-  if (!paged_) return;  // dense views read the cache matrices directly
-  if (paged_->pool().mode() == KvQuantMode::kFp32 && !force_gather_) return;
+  if (!gather_active()) return;  // dense/zero-copy/fused read live storage
   // One prefix gather per layer per chunk; write_kv_at keeps the written
   // block's rows fresh from here (earlier blocks cannot change mid-chunk).
-  paged_->gather_range(layer, 0, prefix_len, gather_k_, gather_v_);
+  gather_into_scratch(layer, 0, prefix_len);
 }
 
 void SequenceState::write_kv_at(std::size_t layer, std::size_t pos,
@@ -69,16 +91,16 @@ void SequenceState::write_kv_at(std::size_t layer, std::size_t pos,
     return;
   }
   paged_->write_at(layer, pos, k, v);
-  if (chunk_layer_ == layer &&
-      (paged_->pool().mode() != KvQuantMode::kFp32 || force_gather_)) {
+  if (chunk_layer_ == layer && gather_active()) {
     // Re-read the whole written span of the block `pos` landed in: a
     // quantized write can grow the block's scale and rescale its earlier
     // codes, and reading back at exactly this point reproduces what a
     // token-by-token run (which re-gathers everything each step) would
-    // see. Rows in other blocks are untouched by this write.
+    // see. Rows in other blocks are untouched by this write. The fused
+    // path skips this entirely — it reads the blocks' live codes, which
+    // already reflect any rescale.
     const std::size_t bs = paged_->pool().block_size();
-    paged_->gather_range(layer, (pos / bs) * bs, pos + 1, gather_k_,
-                         gather_v_);
+    gather_into_scratch(layer, (pos / bs) * bs, pos + 1);
   }
 }
 
@@ -88,27 +110,39 @@ std::span<const KvSegment> SequenceState::attend_view(std::size_t layer,
   if (dense_) {
     // Rows [0, len) are a contiguous prefix of the row-major cache matrix.
     const std::size_t d = dense_->keys(layer).cols();
-    segments_.push_back(KvSegment{dense_->keys(layer).flat().first(len * d),
-                                  dense_->values(layer).flat().first(len * d),
-                                  len});
+    KvSegment seg;
+    seg.k = dense_->keys(layer).flat().first(len * d);
+    seg.v = dense_->values(layer).flat().first(len * d);
+    seg.rows = len;
+    segments_.push_back(seg);
     return segments_;
   }
   const std::size_t d = paged_->pool().d_model();
-  if (paged_->pool().mode() == KvQuantMode::kFp32 && !force_gather_) {
-    // Zero-copy: fp32 block storage holds the written bits verbatim, so
-    // attention reads the pool directly — no per-step prefix copy.
-    paged_->append_block_segments(layer, len, segments_);
+  if (!gather_active()) {
+    if (paged_->pool().mode() == KvQuantMode::kFp32) {
+      // Zero-copy: fp32 block storage holds the written bits verbatim, so
+      // attention reads the pool directly — no per-step prefix copy.
+      paged_->append_block_segments(layer, len, segments_);
+    } else {
+      // Fused: code segments over the pool's live quantized storage; the
+      // kernel layer dequantizes in-register (no fp32 scratch). Valid in
+      // and out of chunks — live codes are exactly what a re-gather would
+      // dequantize.
+      paged_->append_quant_segments(layer, len, segments_);
+    }
     return segments_;
   }
   if (chunk_layer_ != layer) {
     // Decode path: dequantize the whole prefix (block scales may have
     // grown since any earlier gather). Inside a chunk the scratch is
     // maintained incrementally by begin_chunk_layer/write_kv_at instead.
-    paged_->gather_range(layer, 0, len, gather_k_, gather_v_);
+    gather_into_scratch(layer, 0, len);
   }
-  segments_.push_back(
-      KvSegment{std::span<const float>(gather_k_).first(len * d),
-                std::span<const float>(gather_v_).first(len * d), len});
+  KvSegment seg;
+  seg.k = std::span<const float>(gather_k_).first(len * d);
+  seg.v = std::span<const float>(gather_v_).first(len * d);
+  seg.rows = len;
+  segments_.push_back(seg);
   return segments_;
 }
 

@@ -12,18 +12,27 @@
 //   * paged fp32   — one zero-copy segment per KV block, spanning the
 //     pool's storage directly (entries are the written bits, so there is
 //     nothing to dequantize and nothing to copy);
-//   * paged int8/log2 — one segment over per-sequence gather scratch that
-//     read_row dequantized.
-// All three paths feed attention the same values in the same order, so the
-// paged fp32 path stays bitwise identical to dense.
+//   * paged int8/log2 — one *code* segment per KV block, spanning the
+//     pool's raw quantized storage with the per-block decode scales; the
+//     fused dequantize-dot kernels (common/kernels.h) decode in-register,
+//     so no fp32 gather scratch is materialized. Forcing gather
+//     (set_force_gather / set_force_gather_attend) restores the
+//     pre-fusion reference: dequantize the prefix into per-sequence
+//     scratch and attend over the floats — bitwise identical to the fused
+//     path within any one kernel table.
+// All paths feed attention the same values in the same order, so the paged
+// fp32 path stays bitwise identical to dense.
 //
 // Chunked prefill (PreparedModel::prefill_chunk) processes N known tokens
-// layer by layer through one state. The chunk protocol below keeps the
-// quantized gather scratch exact without re-gathering the whole prefix per
-// token: begin_chunk_layer() gathers the pre-chunk prefix once, and each
-// write_kv_at() re-reads just the written block's rows — the only rows a
-// quantized scale-growth rescale can touch — so every attend sees exactly
-// the bytes a token-by-token run would have seen.
+// layer by layer through one state. When gather is forced, the chunk
+// protocol below keeps the quantized gather scratch exact without
+// re-gathering the whole prefix per token: begin_chunk_layer() gathers the
+// pre-chunk prefix once, and each write_kv_at() re-reads just the written
+// block's rows — the only rows a quantized scale-growth rescale can touch —
+// so every attend sees exactly the bytes a token-by-token run would have
+// seen. The fused code-segment path needs none of that: it reads the
+// blocks' live codes directly, which IS what a token-by-token re-gather
+// would dequantize.
 #pragma once
 
 #include <cstddef>
@@ -131,12 +140,22 @@ class SequenceState {
     return sampler_state_;
   }
 
-  /// Bench/test hook: route the paged fp32 attend path through the gather
-  /// scratch (the pre-zero-copy behavior) instead of block-span views. The
-  /// two are bitwise identical — fp32 read_row returns the written bits —
-  /// so this only exists to measure what the copy used to cost. No effect
-  /// in dense or quantized modes (which always gather).
+  /// Bench/test hook: route the paged attend path through the gather
+  /// scratch (the pre-zero-copy / pre-fusion behavior) instead of
+  /// block-span or fused code-segment views. Both splits are bitwise
+  /// identical — fp32 read_row returns the written bits, and the fused
+  /// dequantize kernels decode exactly read_row's floats with the same
+  /// accumulation structure — so this only exists to measure what the
+  /// scratch materialization used to cost and to pin the reference in
+  /// tests. No effect in dense mode. set_force_gather_attend()
+  /// (common/kernels.h) is the engine-wide equivalent.
   void set_force_gather(bool force) { force_gather_ = force; }
+
+  /// Number of gather-scratch materializations (full or partial
+  /// dequantize-into-fp32-scratch passes) this state has performed. Stays 0
+  /// on the fused quantized decode path — the observable "no fp32 gather
+  /// scratch" guarantee — and counts up when gather is forced.
+  [[nodiscard]] std::size_t gather_count() const { return gather_count_; }
 
  private:
   friend class PreparedModel;
@@ -149,6 +168,15 @@ class SequenceState {
                                                        std::size_t len);
 
   void init_scratch(const ModelConfig& config);
+
+  /// True when this state must read paged KV through the fp32 gather
+  /// scratch instead of zero-copy/fused segment views (the reference path).
+  [[nodiscard]] bool gather_active() const;
+
+  /// Lazily sizes the gather scratch, dequantizes rows [from, to) of
+  /// `layer` into it, and counts the materialization.
+  void gather_into_scratch(std::size_t layer, std::size_t from,
+                           std::size_t to);
 
   // --- chunk protocol (driven by PreparedModel::prefill_chunk) ---
   /// Sizes the chunk activation/logits buffers for `n` tokens.
@@ -180,9 +208,13 @@ class SequenceState {
   SamplerState sampler_state_;
   std::optional<KvCache> dense_;
   std::optional<PagedKvCache> paged_;
-  std::vector<float> gather_k_, gather_v_;  // paged mode: one layer's KV
-  std::vector<KvSegment> segments_;         // attend_view scratch
+  // Paged mode, gather path only: one layer's dequantized KV. Allocated
+  // lazily on the first forced gather — the fused/zero-copy paths never
+  // touch (or pay for) this scratch.
+  std::vector<float> gather_k_, gather_v_;
+  std::vector<KvSegment> segments_;  // attend_view scratch
   bool force_gather_ = false;
+  std::size_t gather_count_ = 0;
   // Chunk state: the layer whose gather scratch prefill_chunk currently
   // maintains incrementally (kNoChunkLayer outside a chunk).
   static constexpr std::size_t kNoChunkLayer = static_cast<std::size_t>(-1);
