@@ -246,6 +246,52 @@ void KvBlockPool::write_row(BlockId id, std::size_t row,
   fill_[id] = std::max(fill_[id], row + 1);
 }
 
+void KvBlockPool::save_block(BlockId id, BlockSnapshot& out) const {
+  check_block(id, "KvBlockPool::save_block: bad or free block");
+  const std::size_t entries = block_size_ * d_model_;
+  const std::size_t base = id * entries;
+  // The whole block is captured, not just the fill rows: stale bytes past
+  // the fill can become live again after a later mid-block truncate, and a
+  // bitwise restore must reproduce them too.
+  if (mode_ == KvQuantMode::kFp32) {
+    out.floats.assign(fdata_.begin() + base, fdata_.begin() + base + entries);
+  } else {
+    out.codes.assign(qdata_.begin() + base, qdata_.begin() + base + entries);
+  }
+  out.scale = scales_[id];
+  out.fill = fill_[id];
+}
+
+void KvBlockPool::restore_block(BlockId id, const BlockSnapshot& snapshot) {
+  check_block(id, "KvBlockPool::restore_block: bad or free block");
+  require(refs_[id] == 1,
+          "KvBlockPool::restore_block: shared block (copy-on-write required)");
+  const std::size_t entries = block_size_ * d_model_;
+  if (mode_ == KvQuantMode::kFp32) {
+    require(snapshot.floats.size() == entries,
+            "KvBlockPool::restore_block: snapshot does not match this pool");
+    std::copy(snapshot.floats.begin(), snapshot.floats.end(),
+              fdata_.begin() + id * entries);
+  } else {
+    require(snapshot.codes.size() == entries,
+            "KvBlockPool::restore_block: snapshot does not match this pool");
+    std::copy(snapshot.codes.begin(), snapshot.codes.end(),
+              qdata_.begin() + id * entries);
+  }
+  scales_[id] = snapshot.scale;
+  fill_[id] = snapshot.fill;
+}
+
+void KvBlockPool::reset_block(BlockId id) {
+  check_block(id, "KvBlockPool::reset_block: bad or free block");
+  require(refs_[id] == 1,
+          "KvBlockPool::reset_block: shared block (copy-on-write required)");
+  // Matches allocate(): storage bytes are left stale — write_row never
+  // reads past the fill, and rescales touch live rows only.
+  scales_[id] = 0.0f;
+  fill_[id] = 0;
+}
+
 void KvBlockPool::read_row(BlockId id, std::size_t row,
                            std::span<float> out) const {
   check_block(id, "KvBlockPool::read_row: bad or free block");

@@ -132,6 +132,38 @@ class KvBlockPool {
   /// and must be copy-on-written via clone_rows() first.
   void write_row(BlockId id, std::size_t row, std::span<const float> v);
 
+  /// Verbatim copy of one block's quantization state — storage bytes, block
+  /// scale, and rows-written fill — taken with save_block() and written
+  /// back with restore_block(). Because a block's state is a pure function
+  /// of the row sequence written since it was allocated, a snapshot taken
+  /// before a batch of writes plus a restore afterwards rewinds the block
+  /// bitwise, scale growth and code rescales included. This is what lets a
+  /// speculative-decode rollback discard rejected rows from a partially
+  /// written block without poisoning the rows it keeps (see
+  /// SequenceState::spec_rollback). Snapshot buffers are grow-only and
+  /// reusable across blocks of one pool.
+  struct BlockSnapshot {
+    std::vector<std::int8_t> codes;  // kInt8/kLog2: block_size * d_model
+    std::vector<float> floats;       // kFp32: block_size * d_model
+    float scale = 0.0f;
+    std::size_t fill = 0;
+  };
+
+  /// Captures `id`'s full storage + scale + fill into `out` (buffers are
+  /// resized as needed). Read-only; safe to call concurrently with writes
+  /// to OTHER blocks (same disjointness rule as write_row).
+  void save_block(BlockId id, BlockSnapshot& out) const;
+
+  /// Restores `id` bitwise from a snapshot taken on this pool. Requires
+  /// exclusive ownership (refcount 1), like write_row.
+  void restore_block(BlockId id, const BlockSnapshot& snapshot);
+
+  /// Resets `id` to the freshly-allocated state (scale 0, no rows written)
+  /// without releasing it — the rollback path for a block whose every row
+  /// was written inside the span being rewound. Requires exclusive
+  /// ownership (refcount 1).
+  void reset_block(BlockId id);
+
   /// Dequantizes row `row` of `id` into `out` (d_model floats). In kFp32
   /// mode this returns the written bits verbatim.
   void read_row(BlockId id, std::size_t row, std::span<float> out) const;

@@ -194,6 +194,32 @@ void PagedKvCache::truncate(std::size_t len) {
   len_ = len;
 }
 
+void PagedKvCache::save_block_column(std::size_t layer, std::size_t column,
+                                     KvBlockPool::BlockSnapshot& k_out,
+                                     KvBlockPool::BlockSnapshot& v_out) const {
+  require(layer < k_blocks_.size() && column < k_blocks_[layer].size(),
+          "PagedKvCache::save_block_column: bad layer or column");
+  pool_->save_block(k_blocks_[layer][column], k_out);
+  pool_->save_block(v_blocks_[layer][column], v_out);
+}
+
+void PagedKvCache::restore_block_column(
+    std::size_t layer, std::size_t column,
+    const KvBlockPool::BlockSnapshot& k_snapshot,
+    const KvBlockPool::BlockSnapshot& v_snapshot) {
+  require(layer < k_blocks_.size() && column < k_blocks_[layer].size(),
+          "PagedKvCache::restore_block_column: bad layer or column");
+  pool_->restore_block(k_blocks_[layer][column], k_snapshot);
+  pool_->restore_block(v_blocks_[layer][column], v_snapshot);
+}
+
+void PagedKvCache::reset_block_column(std::size_t layer, std::size_t column) {
+  require(layer < k_blocks_.size() && column < k_blocks_[layer].size(),
+          "PagedKvCache::reset_block_column: bad layer or column");
+  pool_->reset_block(k_blocks_[layer][column]);
+  pool_->reset_block(v_blocks_[layer][column]);
+}
+
 void PagedKvCache::gather(std::size_t layer, std::span<float> k_out,
                           std::span<float> v_out) const {
   gather_range(layer, 0, len_, k_out, v_out);

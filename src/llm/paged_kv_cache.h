@@ -136,6 +136,27 @@ class PagedKvCache {
   void truncate(std::size_t len);
   void clear() { truncate(0); }
 
+  /// Speculative-rollback support: captures / restores / resets the
+  /// quantization state of the K and V blocks covering `column` of `layer`
+  /// (see KvBlockPool::BlockSnapshot). A truncate() that lands mid-block in
+  /// a quantized mode leaves the boundary block's grow-only scale (and
+  /// rescaled codes) reflecting the discarded rows; restoring a snapshot
+  /// taken before those rows were written — then replaying the kept rows
+  /// through write_at() — rewinds the block bitwise, so the kept prefix
+  /// stays the pure function of its tokens the prefix cache requires.
+  /// restore/reset require exclusive ownership (refcount 1), which writes
+  /// in the rolled-back span already guaranteed.
+  void save_block_column(std::size_t layer, std::size_t column,
+                         KvBlockPool::BlockSnapshot& k_out,
+                         KvBlockPool::BlockSnapshot& v_out) const;
+  void restore_block_column(std::size_t layer, std::size_t column,
+                            const KvBlockPool::BlockSnapshot& k_snapshot,
+                            const KvBlockPool::BlockSnapshot& v_snapshot);
+  /// Resets both blocks to the freshly-allocated state (scale 0, no rows) —
+  /// the rollback path for a column whose every row was written inside the
+  /// span being rewound.
+  void reset_block_column(std::size_t layer, std::size_t column);
+
   /// Dequantizes layer `layer`'s cached keys and values into `k_out` /
   /// `v_out` as row-major [length() x d_model] data (spans must hold at
   /// least length()*d_model floats; only that prefix is written).

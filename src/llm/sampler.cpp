@@ -210,6 +210,18 @@ std::size_t resolve_max_new(const SamplingParams& params,
   return params.max_new_tokens != 0 ? params.max_new_tokens : request_max;
 }
 
+float token_logprob(std::span<const float> logits, std::size_t token) {
+  require(token < logits.size(), "token_logprob: token out of range");
+  require(!logits.empty(), "token_logprob: empty logits");
+  float max = logits[0];
+  for (const float v : logits) max = std::max(max, v);
+  // logsumexp with the max subtracted: exp never overflows, and the largest
+  // term contributes exactly 1.
+  float sum = 0.0f;
+  for (const float v : logits) sum += std::exp(v - max);
+  return logits[token] - max - std::log(sum);
+}
+
 FinishReason check_stop(const SamplingParams& params,
                         std::span<const std::size_t> tokens,
                         std::size_t prompt_len, std::size_t target_len) {

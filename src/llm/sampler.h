@@ -227,6 +227,16 @@ class TopPSampler final : public PipelineSampler {
 [[nodiscard]] std::size_t resolve_max_new(const SamplingParams& params,
                                           std::size_t request_max);
 
+/// Normalized log-probability of `token` under softmax(logits):
+/// logits[token] - logsumexp(logits), computed max-subtracted so it is
+/// finite for any finite logits. This is the OpenAI-`logprobs`-shaped
+/// per-token value ServingEngine's token-logprob observer reports; it is a
+/// pure function of the raw logits (the fp32 reference transform,
+/// independent of the request's sampler pipeline and of the log2 softmax
+/// unit).
+[[nodiscard]] float token_logprob(std::span<const float> logits,
+                                  std::size_t token);
+
 /// Stop-condition check for the token just appended at tokens.back().
 /// Returns the reason generation must stop, or kNone to continue. Priority:
 /// eos > stop token > stop sequence > max_new_tokens (target_len =

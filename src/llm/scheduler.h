@@ -128,7 +128,11 @@ class Scheduler {
   virtual std::size_t pick_victim(
       std::span<const SchedRequest> running) = 0;
 
-  /// `tokens` decodes were executed for `id` this step.
+  /// `tokens` tokens were COMMITTED for `id` this step — fed positions
+  /// that stuck. Speculative verify rows that were rejected and rolled
+  /// back are not billed (a request must not pay fair-share credit for
+  /// tokens it never kept); without speculation this equals the executed
+  /// decode count.
   virtual void on_served(RequestId id, std::size_t tokens) {
     (void)id;
     (void)tokens;

@@ -21,7 +21,7 @@ void SequenceState::init_scratch(const ModelConfig& config) {
 
 SequenceState::SequenceState(const ModelConfig& config,
                              std::size_t max_seq_len)
-    : max_seq_len_(max_seq_len),
+    : max_seq_len_(max_seq_len), n_layers_(config.n_layers),
       dense_(std::in_place, config.n_layers, config.d_model, max_seq_len) {
   segments_.reserve(1);
   init_scratch(config);
@@ -29,7 +29,7 @@ SequenceState::SequenceState(const ModelConfig& config,
 
 SequenceState::SequenceState(const ModelConfig& config,
                              std::size_t max_seq_len, KvBlockPool& pool)
-    : max_seq_len_(max_seq_len) {
+    : max_seq_len_(max_seq_len), n_layers_(config.n_layers) {
   require(pool.d_model() == config.d_model,
           "SequenceState: pool d_model does not match the model");
   paged_.emplace(pool, config.n_layers, max_seq_len);
@@ -42,6 +42,76 @@ SequenceState::SequenceState(const ModelConfig& config,
 
 void SequenceState::truncate(std::size_t len) {
   dense_ ? dense_->truncate(len) : paged_->truncate(len);
+}
+
+void SequenceState::begin_spec_capture(std::size_t n_tokens) {
+  // fp32 (and dense) KV needs no capture: writes are row-local, so
+  // truncate() alone rewinds bitwise.
+  if (!paged_ || paged_->pool().mode() == KvQuantMode::kFp32) return;
+  const std::size_t d = k_.size();
+  const std::size_t need = n_layers_ * n_tokens * d;
+  if (spec_rows_k_.size() < need) {
+    spec_rows_k_.resize(need);
+    spec_rows_v_.resize(need);
+  }
+  spec_base_ = paged_->length();
+  spec_cap_ = n_tokens;
+  const std::size_t bs = paged_->pool().block_size();
+  // A partially-written boundary block holds rows from earlier steps whose
+  // fp32 inputs are gone — snapshot it so rollback can rewind the scale
+  // growth the rejected rows may cause. Every other block the burst touches
+  // is written entirely inside the burst and can be rebuilt from the
+  // captured rows alone.
+  spec_snap_valid_ = spec_base_ % bs != 0;
+  if (spec_snap_valid_) {
+    spec_snap_k_.resize(n_layers_);
+    spec_snap_v_.resize(n_layers_);
+    const std::size_t col = spec_base_ / bs;
+    for (std::size_t l = 0; l < n_layers_; ++l) {
+      paged_->save_block_column(l, col, spec_snap_k_[l], spec_snap_v_[l]);
+    }
+  }
+  spec_capture_ = true;
+}
+
+void SequenceState::spec_rollback(std::size_t new_len) {
+  if (dense_) {
+    dense_->truncate(new_len);
+    return;
+  }
+  const std::size_t bs = paged_->pool().block_size();
+  const bool quantized = paged_->pool().mode() != KvQuantMode::kFp32;
+  require(new_len >= spec_base_ || !spec_capture_,
+          "SequenceState::spec_rollback: rollback below the capture base");
+  paged_->truncate(new_len);
+  if (!quantized || new_len % bs == 0) {
+    // Block-aligned boundary: every surviving block is fully written and
+    // untouched by the rejected rows (writes land in later blocks only).
+    end_spec_capture();
+    return;
+  }
+  require(spec_capture_,
+          "SequenceState::spec_rollback: no speculative capture active");
+  const std::size_t col = new_len / bs;
+  const std::size_t from = std::max(col * bs, spec_base_);
+  const std::size_t d = k_.size();
+  for (std::size_t l = 0; l < n_layers_; ++l) {
+    if (spec_snap_valid_ && col == spec_base_ / bs) {
+      paged_->restore_block_column(l, col, spec_snap_k_[l], spec_snap_v_[l]);
+    } else {
+      paged_->reset_block_column(l, col);
+    }
+    // Replay the kept rows in ascending position order — the same order a
+    // non-speculative run writes this block, so the grow-only scale (and
+    // every rescale) reproduces bit for bit.
+    for (std::size_t pos = from; pos < new_len; ++pos) {
+      const std::size_t idx = (l * spec_cap_ + (pos - spec_base_)) * d;
+      paged_->write_at(l, pos,
+                       std::span<const float>(spec_rows_k_).subspan(idx, d),
+                       std::span<const float>(spec_rows_v_).subspan(idx, d));
+    }
+  }
+  end_spec_capture();
 }
 
 bool SequenceState::gather_active() const {
@@ -91,6 +161,14 @@ void SequenceState::write_kv_at(std::size_t layer, std::size_t pos,
     return;
   }
   paged_->write_at(layer, pos, k, v);
+  if (spec_capture_ && pos >= spec_base_) {
+    // Record the fp32 inputs so a speculative rollback can replay the kept
+    // rows through a restored boundary block (see spec_rollback).
+    const std::size_t idx =
+        (layer * spec_cap_ + (pos - spec_base_)) * k_.size();
+    std::copy(k.begin(), k.end(), spec_rows_k_.begin() + idx);
+    std::copy(v.begin(), v.end(), spec_rows_v_.begin() + idx);
+  }
   if (chunk_layer_ == layer && gather_active()) {
     // Re-read the whole written span of the block `pos` landed in: a
     // quantized write can grow the block's scale and rescale its earlier

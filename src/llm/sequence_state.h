@@ -72,6 +72,32 @@ class SequenceState {
   /// new boundary. Throws if len exceeds position().
   void truncate(std::size_t len);
 
+  // --- speculative decode-verify rollback (ServingEngine) ---
+  //
+  // A speculative burst feeds 1 + k tokens through prefill_chunk and may
+  // commit only the first C of them. In fp32 (and dense) KV, truncate()
+  // alone rewinds exactly — writes are row-local. In quantized modes the
+  // rejected rows can have GROWN the boundary block's scale and rescaled
+  // the kept rows' codes, so truncate() alone would leave the kept prefix
+  // different from what a non-speculative run produces. The capture
+  // protocol makes the rollback bitwise anyway:
+  //   * begin_spec_capture(n) — call after reserve_for(n), before the
+  //     chunk: snapshots the partially-written boundary block (if any) and
+  //     arms write_kv_at() to record the fp32 K/V rows the chunk writes;
+  //   * spec_rollback(new_len) — truncate to new_len, then restore the
+  //     boundary block (snapshot, or fresh-reset when every row of it was
+  //     written inside the chunk) and replay the kept rows through
+  //     write_at(). Block state is a pure function of the rows written
+  //     since allocation, so the result is bit-identical to having fed
+  //     only the committed tokens — the prefix stays canonical and
+  //     prefix-cacheable, no non_canonical_from watermark needed;
+  //   * end_spec_capture() — when every row was committed (no rollback).
+  // Capture is a no-op in fp32/dense modes, where spec_rollback() is just
+  // truncate(). Buffers are grow-only and reused across bursts.
+  void begin_spec_capture(std::size_t n_tokens);
+  void end_spec_capture() { spec_capture_ = false; }
+  void spec_rollback(std::size_t new_len);
+
   /// Adopts shared, already-written block columns (a PrefixCache hit) as
   /// this sequence's first `n_positions` cached positions, so prefill can
   /// skip ahead and resume decoding from there. Paged mode only; the cache
@@ -205,9 +231,20 @@ class SequenceState {
                    std::span<const float> k, std::span<const float> v);
 
   std::size_t max_seq_len_;
+  std::size_t n_layers_ = 0;
   SamplerState sampler_state_;
   std::optional<KvCache> dense_;
   std::optional<PagedKvCache> paged_;
+  // Speculative-rollback capture (quantized paged mode only; see the
+  // protocol comment above): fp32 copies of the rows written during the
+  // current burst, [n_layers x spec_cap_ x d_model], plus the boundary
+  // block's pre-burst snapshot per layer.
+  bool spec_capture_ = false;
+  bool spec_snap_valid_ = false;
+  std::size_t spec_base_ = 0;  // position() when capture began
+  std::size_t spec_cap_ = 0;   // tokens the capture covers
+  std::vector<float> spec_rows_k_, spec_rows_v_;
+  std::vector<KvBlockPool::BlockSnapshot> spec_snap_k_, spec_snap_v_;
   // Paged mode, gather path only: one layer's dequantized KV. Allocated
   // lazily on the first forced gather — the fused/zero-copy paths never
   // touch (or pay for) this scratch.

@@ -104,6 +104,11 @@ RequestId ServingEngine::submit(Request request) {
   const auto& ecfg = model_->config();
   seq.sampler =
       make_sampler(seq.sampling, ecfg.log2_softmax ? ecfg.softmax_bits : 0);
+  // One drafter per request, like the sampler: consulted only from the
+  // serial planning phase, so stateful drafters need no synchronization.
+  if (config_.speculative.enabled()) {
+    seq.drafter = make_drafter(config_.speculative);
+  }
   // The RNG stream starts at draw 0 of the request's seed; the checkpoint
   // is moved into the SequenceState at admission and back here whenever the
   // KV is fully released (see Sequence::sampler_ckpt).
@@ -257,6 +262,7 @@ void ServingEngine::admit_from_queue() {
           Sequence seq = std::move(queue_[pick]);
           queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
           seq.downgraded = false;
+          seq.spec_drafts.clear();  // a pre-preemption burst is stale
           seq.result.status = RequestStatus::kRunning;
           batch_.push_back(std::move(seq));
           admitted = true;
@@ -484,6 +490,45 @@ std::size_t ServingEngine::step() {
           std::min({known, space, config_.prefill_chunk_tokens});
       budgets_[i] = std::clamp<std::size_t>(budgets_[i], 1, cap);
     }
+    // Speculative burst planning: a sequence at its generation frontier
+    // (exactly one known, unfed token and generation remaining) may widen
+    // its budget to a verify burst [frontier, d1..dk]. k is clamped so the
+    // burst can neither out-generate the request (each fed row commits at
+    // most one token) nor outgrow the KV cache; drafts are truncated at
+    // the first out-of-vocab token (a garbage drafter must not throw from
+    // the parallel decode phase). The widened budget flows through
+    // ensure_kv_capacity like any chunk, so all 1+k rows are block-reserved
+    // up front and pressure shrinks the burst back to a plain step.
+    for (std::size_t i = 0; i < batch_.size(); ++i) {
+      Sequence& seq = batch_[i];
+      seq.spec_drafts.clear();
+      if (seq.drafter == nullptr) continue;
+      if (seq.result.tokens.size() - seq.fed != 1 ||
+          seq.result.tokens.size() >= seq.target_len) {
+        continue;
+      }
+      const std::size_t space =
+          seq.state->max_seq_len() - seq.state->position();
+      const std::size_t remaining =
+          seq.target_len - seq.result.tokens.size();
+      const std::size_t k = std::min({config_.speculative.draft_tokens,
+                                      remaining - 1, space - 1});
+      if (k == 0) continue;
+      seq.spec_drafts.push_back(seq.result.tokens[seq.fed]);  // frontier
+      seq.drafter->draft(seq.result.tokens, k, seq.spec_drafts);
+      const std::size_t vocab = model_->model_config().vocab;
+      std::size_t valid = 1;
+      while (valid < std::min(seq.spec_drafts.size(), 1 + k) &&
+             seq.spec_drafts[valid] < vocab) {
+        ++valid;
+      }
+      seq.spec_drafts.resize(valid);
+      if (seq.spec_drafts.size() == 1) {
+        seq.spec_drafts.clear();  // nothing proposed: plain decode
+        continue;
+      }
+      budgets_[i] = seq.spec_drafts.size();
+    }
   }
 
   // Memory pressure: make sure the pool covers every running sequence's
@@ -496,18 +541,30 @@ std::size_t ServingEngine::step() {
 
   // Serial reservation phase: all pool allocation for this step happens
   // here, so the parallel decode below never mutates shared pool state.
+  // Speculative bursts also open their rollback capture here — after
+  // reserve_for's copy-on-write, the boundary block is exclusively owned,
+  // which snapshot restore requires.
   for (std::size_t i = 0; i < batch_.size(); ++i) {
     batch_[i].state->reserve_for(budgets_[i]);
+    if (budgets_[i] > 1 && !batch_[i].spec_drafts.empty()) {
+      batch_[i].state->begin_spec_capture(budgets_[i]);
+    }
   }
 
   // Parallel phase: decode each sequence's budget — one token through
   // step(), a multi-token chunk through prefill_chunk() (bitwise identical
-  // to that many single steps). Disjoint SequenceStates against a const
-  // PreparedModel — safe and bitwise order-independent.
+  // to that many single steps). A speculative burst feeds its planned
+  // [frontier, drafts...] list the same way; a burst whose budget pressure
+  // shrank to 1 feeds spec_drafts[0] == tokens[fed] — the plain step.
+  // Disjoint SequenceStates against a const PreparedModel — safe and
+  // bitwise order-independent.
   auto decode_one = [this](std::size_t i) {
     Sequence& seq = batch_[i];
     const std::size_t n = budgets_[i];
-    if (n == 1) {
+    if (!seq.spec_drafts.empty() && n > 1) {
+      model_->prefill_chunk(
+          *seq.state, std::span<const std::size_t>(seq.spec_drafts).first(n));
+    } else if (n == 1) {
       model_->step(*seq.state, seq.result.tokens[seq.fed]);
     } else {
       model_->prefill_chunk(
@@ -527,53 +584,114 @@ std::size_t ServingEngine::step() {
   // counter out of sync with its already-advanced KV cache.
   const std::size_t decoded = batch_.size();
   fed_pos_.resize(decoded);
-  emitted_.assign(decoded, SamplingParams::kNoToken);
+  if (emitted_.size() < decoded) emitted_.resize(decoded);
+  for (std::size_t i = 0; i < decoded; ++i) emitted_[i].clear();
   for (std::size_t i = 0; i < decoded; ++i) {
     Sequence& seq = batch_[i];
     const std::size_t n = budgets_[i];
-    const std::span<const float> logits = seq.state->logits();
+    const bool spec = !seq.spec_drafts.empty() && n > 1;
     fed_pos_[i] = seq.fed;  // first position fed this step
-    seq.fed += n;
-    seq.tokens_served += n;
-    stat_tokens_ += n;
+    stat_tokens_ += n;      // rows executed, including rejected verify rows
     auto& prio = prio_stats_[seq.priority];
-    prio.tokens_served += n;
     if (!seq.wait_counted) {
       seq.wait_counted = true;
       prio.queue_wait_steps +=
           static_cast<std::size_t>(step_counter_ - seq.submit_step - 1);
       ++prio.first_decodes;
     }
-    if (seq.fed == seq.result.tokens.size() &&
-        seq.result.tokens.size() < seq.target_len) {
-      // Frontier: every known token is fed, so these logits (after a
-      // chunk, the chunk-final position's) extend the stream through the
-      // request's sampler. Replay never re-enters here for a token that
-      // already exists, so the RNG stream advances once per generated
-      // token, ever.
-      const std::size_t next = seq.sampler->sample(
-          logits, seq.result.tokens, seq.state->sampler_state());
-      seq.result.tokens.push_back(next);
-      emitted_[i] = next;
-      if (!seq.ttft_counted) {
-        seq.ttft_counted = true;
-        prio.ttft_steps +=
-            static_cast<std::size_t>(step_counter_ - seq.submit_step);
-        ++prio.first_tokens;
+    std::size_t committed = n;
+    if (spec) {
+      // Verify-commit walk over the burst's per-row logits. Row j's logits
+      // are bitwise what a plain step at that position produces, and the
+      // request's own sampler draws from them exactly as a plain step
+      // would (one draw per generated token — rejected rows are never
+      // sampled from), so every committed token IS the non-speculative
+      // stream's token. The burst continues while the sample matches the
+      // next fed draft; the first mismatch (or stop) ends it and the
+      // unused fed rows roll back bitwise below.
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::size_t next =
+            seq.sampler->sample(seq.state->chunk_logits_row(j),
+                                seq.result.tokens,
+                                seq.state->sampler_state());
+        seq.result.tokens.push_back(next);
+        EmittedTok tok;
+        tok.token = next;
+        tok.row = j;
+        tok.speculative = true;
+        tok.draft_hit = j + 1 < n && next == seq.spec_drafts[j + 1];
+        emitted_[i].push_back(tok);
+        if (!seq.ttft_counted) {
+          seq.ttft_counted = true;
+          prio.ttft_steps +=
+              static_cast<std::size_t>(step_counter_ - seq.submit_step);
+          ++prio.first_tokens;
+        }
+        seq.result.finish_reason =
+            check_stop(seq.sampling, seq.result.tokens,
+                       seq.result.prompt_len, seq.target_len);
+        if (seq.result.finish_reason != FinishReason::kNone) {
+          seq.done = true;
+          break;
+        }
+        if (!tok.draft_hit) break;
       }
-      // Stop conditions (eos / stop token / stop sequence / budget). The
-      // final generated token is pure output either way — feeding it would
-      // spend a KV slot and a forward pass on logits nobody reads.
-      seq.result.finish_reason =
-          check_stop(seq.sampling, seq.result.tokens, seq.result.prompt_len,
-                     seq.target_len);
-      seq.done = seq.result.finish_reason != FinishReason::kNone;
+      committed = emitted_[i].size();
+      if (committed < n) {
+        // Rejected suffix: rewind the KV to the committed rows — bitwise,
+        // so the kept prefix stays canonical (prefix-cacheable, and no
+        // non_canonical_from watermark is spent).
+        seq.state->spec_rollback(seq.fed + committed);
+      } else {
+        seq.state->end_spec_capture();
+      }
+      seq.fed += committed;  // tokens.size() - 1: the frontier invariant
+      ++stat_spec_bursts_;
+      stat_spec_drafted_ += n - 1;
+      stat_spec_accepted_ += committed - 1;
+      stat_spec_rejected_ += n - committed;
+      seq.drafter->observe(seq.result.tokens, committed - 1);
+    } else {
+      const std::span<const float> logits = seq.state->logits();
+      seq.fed += n;
+      if (seq.fed == seq.result.tokens.size() &&
+          seq.result.tokens.size() < seq.target_len) {
+        // Frontier: every known token is fed, so these logits (after a
+        // chunk, the chunk-final position's) extend the stream through the
+        // request's sampler. Replay never re-enters here for a token that
+        // already exists, so the RNG stream advances once per generated
+        // token, ever.
+        const std::size_t next = seq.sampler->sample(
+            logits, seq.result.tokens, seq.state->sampler_state());
+        seq.result.tokens.push_back(next);
+        EmittedTok tok;
+        tok.token = next;  // row kNoRow: sampled from state->logits()
+        emitted_[i].push_back(tok);
+        if (!seq.ttft_counted) {
+          seq.ttft_counted = true;
+          prio.ttft_steps +=
+              static_cast<std::size_t>(step_counter_ - seq.submit_step);
+          ++prio.first_tokens;
+        }
+        // Stop conditions (eos / stop token / stop sequence / budget). The
+        // final generated token is pure output either way — feeding it
+        // would spend a KV slot and a forward pass on logits nobody reads.
+        seq.result.finish_reason =
+            check_stop(seq.sampling, seq.result.tokens,
+                       seq.result.prompt_len, seq.target_len);
+        seq.done = seq.result.finish_reason != FinishReason::kNone;
+      }
+      if (seq.fed == seq.result.tokens.size() &&
+          seq.result.tokens.size() >= seq.target_len) {
+        seq.done = true;  // scoring request: every prompt token has been fed
+      }
     }
-    if (seq.fed == seq.result.tokens.size() &&
-        seq.result.tokens.size() >= seq.target_len) {
-      seq.done = true;  // scoring request: every prompt token has been fed
-    }
-    scheduler_->on_served(seq.id, n);
+    // Served accounting is charged with tokens actually committed — a
+    // fair-share policy must not bill a request for rejected rows it never
+    // kept (committed == n on every non-speculative path).
+    seq.tokens_served += committed;
+    prio.tokens_served += committed;
+    scheduler_->on_served(seq.id, committed);
   }
 
   // Observer pass: sequence states (and their logits buffers) are all still
@@ -581,25 +699,47 @@ std::size_t ServingEngine::step() {
   // exactly as a token-by-token run would have reported it. A throw here
   // propagates to the caller with the engine in a consistent state; the
   // remaining observer calls of this step are skipped.
-  if (observer_ || token_observer_) {
+  if (observer_ || token_observer_ || logprob_observer_) {
     for (std::size_t i = 0; i < decoded; ++i) {
       const Sequence& seq = batch_[i];
-      const std::size_t n = budgets_[i];
+      // Rows that survived the step: the full budget on every plain path,
+      // only the committed prefix of a speculative burst — rejected rows'
+      // positions no longer exist, and a baseline run never fed them.
+      const std::size_t rows = seq.fed - fed_pos_[i];
       if (observer_) {
-        if (n == 1) {
+        if (budgets_[i] == 1) {
           observer_(seq.id, fed_pos_[i], seq.state->logits());
         } else {
-          for (std::size_t j = 0; j < n; ++j) {
+          for (std::size_t j = 0; j < rows; ++j) {
             observer_(seq.id, fed_pos_[i] + j,
                       seq.state->chunk_logits_row(j));
           }
         }
       }
-      // The streamed token follows its position's logits; kNone reason
-      // means the stream continues past this token.
-      if (token_observer_ && emitted_[i] != SamplingParams::kNoToken) {
-        token_observer_(seq.id, seq.result.generated() - 1, emitted_[i],
-                        seq.result.finish_reason);
+      // Streamed tokens follow their positions' logits, in generation
+      // order; kNone reason means the stream continues past that token.
+      for (std::size_t j = 0; j < emitted_[i].size(); ++j) {
+        const EmittedTok& tok = emitted_[i][j];
+        const std::size_t gen_index =
+            seq.result.generated() - emitted_[i].size() + j;
+        const FinishReason reason = j + 1 == emitted_[i].size()
+                                        ? seq.result.finish_reason
+                                        : FinishReason::kNone;
+        if (token_observer_) {
+          token_observer_(seq.id, gen_index, tok.token, reason);
+        }
+        if (logprob_observer_) {
+          const std::span<const float> row_logits =
+              tok.row == EmittedTok::kNoRow ? seq.state->logits()
+                                            : seq.state->chunk_logits_row(
+                                                  tok.row);
+          TokenLogprobInfo info;
+          info.token = tok.token;
+          info.logprob = token_logprob(row_logits, tok.token);
+          info.speculative = tok.speculative;
+          info.draft_hit = tok.draft_hit;
+          logprob_observer_(seq.id, gen_index, info);
+        }
       }
     }
   }
@@ -635,6 +775,10 @@ ServingEngine::Stats ServingEngine::stats() const {
   s.preemptions = stat_preemptions_;
   s.tokens_decoded = stat_tokens_;
   s.steps = static_cast<std::size_t>(step_counter_);
+  s.spec_bursts = stat_spec_bursts_;
+  s.spec_drafted = stat_spec_drafted_;
+  s.spec_accepted = stat_spec_accepted_;
+  s.spec_rejected = stat_spec_rejected_;
   if (prefix_cache_ != nullptr) {
     const auto p = prefix_cache_->stats();
     s.prefix_hits = p.hits;

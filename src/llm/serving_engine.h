@@ -62,6 +62,25 @@
 // (RequestResult::finish_reason, cumulative Stats::finish_reasons), and an
 // optional TokenObserver streams each sampled token as it is produced.
 //
+// Speculative decoding (ServingConfig::speculative, see drafter.h): a
+// per-request Drafter proposes k continuation tokens for a sequence at its
+// generation frontier; the engine feeds [frontier, d1..dk] through
+// prefill_chunk as one verify burst — block reservation covers all k+1 rows
+// up front — and then walks the per-row logits serially, running the
+// request's own sampler on each row (one draw per generated token, exactly
+// the non-speculative discipline). Each sampled token is committed
+// unconditionally; the burst continues only while the sample matches the
+// next fed draft, and the rejected suffix is rolled back bitwise with
+// SequenceState::spec_rollback (quantized boundary blocks are snapshot-
+// replayed, so the kept prefix stays canonical and prefix-cacheable).
+// Committed output is therefore BITWISE identical to the non-speculative
+// engine for every sampler, seed, kv_mode, thread count, and preemption
+// pattern — speculation only changes how many model passes it takes. Under
+// pool pressure a burst's budget shrinks back to 1 like any chunk,
+// degrading to plain single-token decode. Stats::spec_* count bursts and
+// per-draft accept/reject outcomes; Scheduler::on_served is charged only
+// tokens actually committed.
+//
 // KV memory is paged: every sequence allocates fixed-size blocks from a
 // KvBlockPool (engine-owned by default, or shared across engines via
 // ServingConfig::kv_pool), quantized per the model's EngineConfig::kv_mode.
@@ -125,6 +144,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "llm/drafter.h"
 #include "llm/kv_block_pool.h"
 #include "llm/prefix_cache.h"
 #include "llm/prepared_model.h"
@@ -213,6 +233,14 @@ struct ServingConfig {
   /// results in every kv_mode, fewer steps and one KV-prefix pass per
   /// layer per chunk instead of per token).
   std::size_t prefill_chunk_tokens = 1;
+  /// Speculative multi-token decoding (see drafter.h and the header
+  /// comment): when enabled(), sequences at their generation frontier
+  /// verify up to `speculative.draft_tokens` drafted tokens per model pass.
+  /// Committed output stays bitwise identical to speculation off; only the
+  /// pass count changes. Independent of prefill_chunk_tokens (a verify
+  /// burst reuses the chunked-prefill machinery but is capped by
+  /// draft_tokens, not the prefill chunk width).
+  SpeculativeConfig speculative;
 };
 
 class ServingEngine {
@@ -292,7 +320,10 @@ class ServingEngine {
     std::size_t submitted = 0;
     std::size_t finished = 0;  // kFinished retirements
     std::size_t evicted = 0;   // kEvicted retirements
-    std::size_t tokens_served = 0;      // decode positions executed
+    /// Tokens committed (fed positions that stuck): speculative rows that
+    /// were rejected and rolled back are excluded, matching
+    /// Scheduler::on_served. Stats::tokens_decoded counts executed rows.
+    std::size_t tokens_served = 0;
     std::size_t queue_wait_steps = 0;   // cumulative, over first_decodes
     std::size_t first_decodes = 0;
     std::size_t ttft_steps = 0;  // cumulative, over first_tokens
@@ -321,6 +352,23 @@ class ServingEngine {
     std::size_t prefix_hit_tokens = 0;  // cumulative prefill decodes skipped
     std::size_t prefix_cached_blocks = 0;     // currently pinned by the cache
     std::size_t prefix_reclaimed_blocks = 0;  // cumulative freed under pressure
+    // Speculative-decoding counters (all 0 when speculation is off).
+    // Invariants: spec_drafted == spec_accepted + spec_rejected; a burst
+    // feeding 1+k rows adds k to spec_drafted and commits 1 + (its accepted
+    // drafts) tokens, so committed generation tokens per burst averages
+    // tokens_per_burst(). tokens_decoded still counts every executed row,
+    // including rejected ones — the compute actually spent.
+    std::size_t spec_bursts = 0;    // multi-token verify passes executed
+    std::size_t spec_drafted = 0;   // draft tokens fed for verification
+    std::size_t spec_accepted = 0;  // draft tokens committed
+    std::size_t spec_rejected = 0;  // draft tokens rolled back
+    /// Average tokens committed per speculative burst — the ">1 tokens per
+    /// model pass" headline; 0.0 before any burst ran.
+    [[nodiscard]] double tokens_per_burst() const {
+      if (spec_bursts == 0) return 0.0;
+      return static_cast<double>(spec_bursts + spec_accepted) /
+             static_cast<double>(spec_bursts);
+    }
     /// Queue-wait / TTFT / tokens-served accounting per priority level.
     std::map<int, PriorityClassStats> by_priority;
     /// Cumulative kFinished retirements by why they stopped (kNone counts
@@ -352,6 +400,9 @@ class ServingEngine {
   /// Observes the logits of every decode, in deterministic slot order
   /// within each step — and, within one sequence's multi-token chunk, in
   /// position order: (request, 0-based position of the fed token, logits).
+  /// Speculative verify rows whose tokens were rejected and rolled back do
+  /// not fire (their positions do not survive the step), so the observed
+  /// (position, logits) stream is exactly the non-speculative run's.
   ///
   /// Contract: the observer fires inside step() after the step's bookkeeping
   /// is complete. It must not call back into this engine (submit/step/
@@ -373,7 +424,9 @@ class ServingEngine {
   /// the stream continues and the final reason on its last token, so
   /// callers can harvest incrementally instead of polling result().
   /// Within one step, sequences report in deterministic slot order, each
-  /// after its LogitsObserver calls. Same contract as the logits observer:
+  /// after its LogitsObserver calls; a speculative verify burst reports its
+  /// committed tokens in generation order, so the observed stream is
+  /// byte-for-byte the non-speculative one. Same contract as the logits observer:
   /// fires inside step() after bookkeeping, must not call back into the
   /// engine, and a throw propagates with the engine consistent (remaining
   /// observer calls of the step are skipped).
@@ -381,6 +434,35 @@ class ServingEngine {
       std::function<void(RequestId, std::size_t, std::size_t, FinishReason)>;
   void set_token_observer(TokenObserver observer) {
     token_observer_ = std::move(observer);
+  }
+
+  /// Per-token diagnostics streamed alongside the token observer.
+  struct TokenLogprobInfo {
+    std::size_t token = 0;
+    /// Normalized log-probability of `token` under the full softmax of the
+    /// logits it was sampled from (token_logprob in sampler.h — the
+    /// OpenAI-`logprobs`-shaped value; fp32 reference transform, the same
+    /// number with or without speculation and the log2 softmax unit).
+    float logprob = 0.0f;
+    /// Committed by a speculative verify burst (false: plain decode).
+    bool speculative = false;
+    /// The sampled token matched the draft fed at the next burst row, so
+    /// the burst continued through it — per-token acceptance diagnostics
+    /// (always false for the burst-final bonus token and for plain decode).
+    bool draft_hit = false;
+  };
+
+  /// Streams one TokenLogprobInfo per SAMPLED token with (request, 0-based
+  /// generated-token index, info) — same cadence, ordering, and exactly-once
+  /// guarantee as the TokenObserver (whose contract it shares: fires inside
+  /// step() after bookkeeping, right after that token's TokenObserver call;
+  /// must not re-enter the engine; a throw propagates with the engine
+  /// consistent). Logprobs come from the same logits rows the sampler read,
+  /// so the reported values are identical with speculation on or off.
+  using TokenLogprobObserver =
+      std::function<void(RequestId, std::size_t, const TokenLogprobInfo&)>;
+  void set_token_logprob_observer(TokenLogprobObserver observer) {
+    logprob_observer_ = std::move(observer);
   }
 
   [[nodiscard]] const PreparedModel& model() const { return *model_; }
@@ -427,7 +509,28 @@ class ServingEngine {
     SamplingParams sampling;
     std::unique_ptr<Sampler> sampler;
     SamplerState sampler_ckpt;
+    // Speculative decoding: the request's drafter (built once at submit,
+    // null when speculation is off) and this step's planned burst — the
+    // full feed list [frontier, d1..dk], so budgets_[i] ==
+    // spec_drafts.size() and a budget shrunk to 1 under pool pressure
+    // degrades to feeding spec_drafts[0] (== tokens[fed]) as a plain step.
+    // Replanned (cleared) every step; rides on the Sequence so scheduler
+    // erases and preemption moves keep it aligned with its owner.
+    std::unique_ptr<Drafter> drafter;
+    std::vector<std::size_t> spec_drafts;
     std::unique_ptr<SequenceState> state;  // kept across preemption
+  };
+
+  /// One sampled token of the current step (per-step scratch): enough to
+  /// replay the observer cadence after bookkeeping — which logits row
+  /// produced it (kNoRow: the sequence's frontier logits buffer) and its
+  /// speculative provenance.
+  struct EmittedTok {
+    static constexpr std::size_t kNoRow = static_cast<std::size_t>(-1);
+    std::size_t token = 0;
+    std::size_t row = kNoRow;  // chunk logits row, kNoRow = state->logits()
+    bool speculative = false;
+    bool draft_hit = false;
   };
 
   void admit_from_queue();
@@ -467,7 +570,7 @@ class ServingEngine {
   std::vector<Sequence> batch_;
   std::vector<std::size_t> fed_pos_;       // per-step scratch, reused
   std::vector<std::size_t> budgets_;       // per-step scratch, reused
-  std::vector<std::size_t> emitted_;       // per-step sampled token (or none)
+  std::vector<std::vector<EmittedTok>> emitted_;  // per-slot sampled tokens
   std::vector<std::size_t> blocked_;       // admission candidates w/o blocks
   std::vector<SchedRequest> views_;        // scheduler-snapshot scratch
   std::unordered_map<RequestId, RequestResult> done_;
@@ -475,11 +578,16 @@ class ServingEngine {
   std::map<FinishReason, std::size_t> finish_counts_;
   LogitsObserver observer_;
   TokenObserver token_observer_;
+  TokenLogprobObserver logprob_observer_;
   RequestId next_id_ = 1;
   std::uint64_t step_counter_ = 0;
   std::size_t stat_evictions_ = 0;
   std::size_t stat_preemptions_ = 0;
   std::size_t stat_tokens_ = 0;
+  std::size_t stat_spec_bursts_ = 0;
+  std::size_t stat_spec_drafted_ = 0;
+  std::size_t stat_spec_accepted_ = 0;
+  std::size_t stat_spec_rejected_ = 0;
 };
 
 }  // namespace opal
