@@ -5,7 +5,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "common/metrics.h"
+#include "common/error_metrics.h"
 #include "common/rng.h"
 #include "quant/mx_opal.h"
 #include "quant/mxint.h"

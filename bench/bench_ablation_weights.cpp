@@ -6,7 +6,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "common/metrics.h"
+#include "common/error_metrics.h"
 #include "common/rng.h"
 #include "owq/gptq.h"
 #include "owq/owq.h"

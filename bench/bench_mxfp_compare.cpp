@@ -7,7 +7,7 @@
 #include <memory>
 #include <vector>
 
-#include "common/metrics.h"
+#include "common/error_metrics.h"
 #include "common/rng.h"
 #include "quant/mx_opal.h"
 #include "quant/mxfp.h"

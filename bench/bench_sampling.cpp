@@ -23,6 +23,7 @@
 //     scheduling-invariant.
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -100,7 +101,7 @@ double divergence(const PolicyRun& run, const PolicyRun& greedy,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   SyntheticModel model(scaled_for_eval(llama2_7b(), 128, 3, 256), 7);
   calibrate_logit_scale(model, 24, 8);
 
@@ -150,6 +151,23 @@ int main() {
     std::printf("%-20s %10.1f %8zu %10.3f %11.1f%%\n", run.name.c_str(),
                 static_cast<double>(run.decodes) / run.seconds, run.steps,
                 run.seconds, 100.0 * divergence(run, runs[0], prompt_len));
+  }
+
+  {
+    const std::string path = argc > 1 ? argv[1] : "BENCH_sampling.json";
+    std::ofstream json(path);
+    json.precision(4);
+    json << std::fixed << "{\n  \"bench\": \"sampling\",\n"
+         << "  \"policies\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const auto& run = runs[i];
+      json << "    {\"policy\": \"" << run.name << "\", \"tokens_per_s\": "
+           << static_cast<double>(run.decodes) / run.seconds
+           << ", \"steps\": " << run.steps << ", \"wall_s\": " << run.seconds
+           << ", \"divergence\": " << divergence(run, runs[0], prompt_len)
+           << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
   }
 
   // --- assertions ---

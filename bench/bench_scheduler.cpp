@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -87,7 +88,7 @@ PolicyResult serve(const std::shared_ptr<const PreparedModel>& model,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   SyntheticModel model(scaled_for_eval(llama2_7b(), 128, 3, 256), 7);
   calibrate_logit_scale(model, 24, 8);
 
@@ -163,6 +164,27 @@ int main() {
                 percentile(r.short_ttft_ms, 0.5),
                 percentile(r.short_ttft_ms, 0.95), r.steps, r.seconds);
   }
+  {
+    const std::string path = argc > 1 ? argv[1] : "BENCH_scheduler.json";
+    std::ofstream json(path);
+    json.precision(4);
+    json << std::fixed << "{\n  \"bench\": \"scheduler\",\n"
+         << "  \"policies\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      json << "    {\"policy\": \"" << r.name
+           << "\", \"short_ttft_p50_steps\": "
+           << percentile(r.short_ttft_steps, 0.5)
+           << ", \"short_ttft_p95_steps\": "
+           << percentile(r.short_ttft_steps, 0.95)
+           << ", \"short_ttft_p50_ms\": " << percentile(r.short_ttft_ms, 0.5)
+           << ", \"short_ttft_p95_ms\": " << percentile(r.short_ttft_ms, 0.95)
+           << ", \"steps\": " << r.steps << ", \"wall_s\": " << r.seconds
+           << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+  }
+
   std::printf("\nper-priority accounting (mean steps, from Stats::by_priority)"
               ":\n");
   for (const auto& r : results) {

@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "common/metrics.h"
+#include "common/error_metrics.h"
 #include "common/rng.h"
 #include "quant/minmax.h"
 #include "quant/mx_opal.h"

@@ -18,8 +18,12 @@
 //   quantize once -> 6 shared-prefix requests (2 priority classes)
 //   -> 4 slots, 1/4 memory, chunked prefill -> round 1 (cold)
 //   -> round 2 (warm prefix cache) -> verify both
+//   -> sampled round (seeded, streamed) -> traced round (OPAL_TRACE=1,
+//      balanced event stream, Chrome trace on disk, results unchanged)
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <vector>
 
 #include "eval/schemes.h"
@@ -244,6 +248,59 @@ int main() {
   print_stats("sampled", engine);
   engine.release(gen_a);
   engine.release(gen_b);
+
+  // Traced round: the same workload once more through a fresh engine with
+  // OPAL_TRACE set — the opt-in a deployment flips without recompiling.
+  // The event stream must be non-empty and balanced (every submitted
+  // request retires in exactly one finish or evict), the Chrome trace must
+  // land on disk, and the traced results must stay bitwise identical to
+  // the dense baseline — tracing observes, never steers.
+  {
+    setenv("OPAL_TRACE", "1", 1);
+    ServingEngine traced(prepared, serving_cfg);
+    unsetenv("OPAL_TRACE");
+    if (!traced.tracer().enabled()) {
+      std::printf("ERROR: OPAL_TRACE did not enable the tracer\n");
+      return 1;
+    }
+    if (serve_round(traced, prepared, requests, "round 3 traced") != 0) {
+      std::printf("ERROR: traced round diverged from the dense baseline\n");
+      return 1;
+    }
+    const auto events = traced.tracer().events();
+    std::size_t enqueues = 0, admits = 0, finishes = 0, evicts = 0,
+                step_records = 0;
+    for (const auto& ev : events) {
+      switch (ev.kind) {
+        case TraceEventKind::kEnqueue: ++enqueues; break;
+        case TraceEventKind::kAdmit: ++admits; break;
+        case TraceEventKind::kFinish: ++finishes; break;
+        case TraceEventKind::kEvict: ++evicts; break;
+        case TraceEventKind::kStep: ++step_records; break;
+        default: break;
+      }
+    }
+    if (events.empty() || step_records == 0 ||
+        enqueues != requests.size() || finishes + evicts != enqueues ||
+        admits < enqueues) {
+      std::printf("ERROR: trace stream unbalanced: %zu events, %zu "
+                  "enqueues, %zu admits, %zu finishes, %zu evicts, %zu "
+                  "steps\n",
+                  events.size(), enqueues, admits, finishes, evicts,
+                  step_records);
+      return 1;
+    }
+    const char* trace_path = "serve_batch_trace.json";
+    std::ofstream out(trace_path);
+    traced.tracer().write_chrome_trace(out);
+    out.close();
+    std::printf("\ntraced round: %zu events (%zu enqueued -> %zu admits -> "
+                "%zu finished + %zu evicted over %zu step records), Chrome "
+                "trace written to %s\n",
+                events.size(), enqueues, admits, finishes, evicts,
+                step_records, trace_path);
+  }
+
   if (mismatches != 0) {
     std::printf("ERROR: %zu results diverged from the dense baseline\n",
                 mismatches);

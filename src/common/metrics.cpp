@@ -1,52 +1,174 @@
 #include "common/metrics.h"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
+#include <array>
+#include <sstream>
 
 #include "common/tensor.h"
 
 namespace opal {
 
-double mse(std::span<const float> ref, std::span<const float> test) {
-  require(ref.size() == test.size() && !ref.empty(), "mse: bad spans");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < ref.size(); ++i) {
-    const double d = static_cast<double>(ref[i]) - test[i];
-    acc += d * d;
-  }
-  return acc / static_cast<double>(ref.size());
+std::span<const double> default_latency_bounds_ms() {
+  // 1-2.5-5 decade grid, 1us .. 10s.
+  static const std::array<double, 22> kBounds = {
+      0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,  0.25,  0.5,   1.0, 2.5,
+      5.0,   10.0,   25.0,  50.0, 100.0, 250., 500., 1000., 2500., 5000.,
+      10000.0};
+  return kBounds;
 }
 
-double mae(std::span<const float> ref, std::span<const float> test) {
-  require(ref.size() == test.size() && !ref.empty(), "mae: bad spans");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < ref.size(); ++i) {
-    acc += std::abs(static_cast<double>(ref[i]) - test[i]);
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()),
+      buckets_(bounds.size() + 1, 0) {
+  require(!bounds_.empty(), "Histogram: empty bucket bounds");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    require(bounds_[i - 1] < bounds_[i],
+            "Histogram: bucket bounds must be strictly increasing");
   }
-  return acc / static_cast<double>(ref.size());
 }
 
-double sqnr_db(std::span<const float> ref, std::span<const float> test) {
-  require(ref.size() == test.size() && !ref.empty(), "sqnr_db: bad spans");
-  double signal = 0.0, noise = 0.0;
-  for (std::size_t i = 0; i < ref.size(); ++i) {
-    const double s = ref[i];
-    const double d = s - static_cast<double>(test[i]);
-    signal += s * s;
-    noise += d * d;
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
   }
-  if (noise == 0.0) return std::numeric_limits<double>::infinity();
-  return 10.0 * std::log10(signal / noise);
+  ++count_;
+  sum_ += value;
 }
 
-double max_abs_err(std::span<const float> ref, std::span<const float> test) {
-  require(ref.size() == test.size() && !ref.empty(), "max_abs_err: bad spans");
-  double worst = 0.0;
-  for (std::size_t i = 0; i < ref.size(); ++i) {
-    worst = std::max(worst, std::abs(static_cast<double>(ref[i]) - test[i]));
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const std::uint64_t next = cum + buckets_[i];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate within bucket i: lower edge is the previous bound (or
+      // the observed min for the first populated bucket), upper edge the
+      // bound (or the observed max for the overflow bucket).
+      const double lo = i == 0 ? min_ : std::max(min_, bounds_[i - 1]);
+      const double hi = i < bounds_.size() ? std::min(max_, bounds_[i]) : max_;
+      const double frac =
+          (target - static_cast<double>(cum)) /
+          static_cast<double>(buckets_[i]);
+      return std::clamp(lo + (hi - lo) * frac, min_, max_);
+    }
+    cum = next;
   }
-  return worst;
+  return max_;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  for (const Named& n : counter_names_) {
+    if (n.name == name) return counters_[n.index];
+  }
+  counters_.emplace_back();
+  counter_names_.push_back({std::string(name), counters_.size() - 1});
+  return counters_.back();
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  for (const Named& n : gauge_names_) {
+    if (n.name == name) return gauges_[n.index];
+  }
+  gauges_.emplace_back();
+  gauge_names_.push_back({std::string(name), gauges_.size() - 1});
+  return gauges_.back();
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> bounds) {
+  for (const Named& n : histogram_names_) {
+    if (n.name == name) return histograms_[n.index];
+  }
+  histograms_.emplace_back(bounds.empty() ? default_latency_bounds_ms()
+                                          : bounds);
+  histogram_names_.push_back({std::string(name), histograms_.size() - 1});
+  return histograms_.back();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot s;
+  s.counters.reserve(counter_names_.size());
+  for (const Named& n : counter_names_) {
+    s.counters.push_back({n.name, counters_[n.index].value()});
+  }
+  s.gauges.reserve(gauge_names_.size());
+  for (const Named& n : gauge_names_) {
+    s.gauges.push_back({n.name, gauges_[n.index].value()});
+  }
+  s.histograms.reserve(histogram_names_.size());
+  for (const Named& n : histogram_names_) {
+    const Histogram& h = histograms_[n.index];
+    HistogramValue v;
+    v.name = n.name;
+    v.count = h.count();
+    v.sum = h.sum();
+    v.min = h.min();
+    v.max = h.max();
+    v.p50 = h.quantile(0.50);
+    v.p95 = h.quantile(0.95);
+    v.p99 = h.quantile(0.99);
+    s.histograms.push_back(std::move(v));
+  }
+  return s;
+}
+
+const MetricsRegistry::CounterValue* MetricsRegistry::Snapshot::find_counter(
+    std::string_view name) const {
+  for (const CounterValue& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const MetricsRegistry::GaugeValue* MetricsRegistry::Snapshot::find_gauge(
+    std::string_view name) const {
+  for (const GaugeValue& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const MetricsRegistry::HistogramValue*
+MetricsRegistry::Snapshot::find_histogram(std::string_view name) const {
+  for (const HistogramValue& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string MetricsRegistry::Snapshot::to_json() const {
+  std::ostringstream out;
+  out.precision(6);
+  out << std::fixed;
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << counters[i].name
+        << "\": " << counters[i].value;
+  }
+  out << (counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << gauges[i].name
+        << "\": " << gauges[i].value;
+  }
+  out << (gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramValue& h = histograms[i];
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << h.name << "\": {\"count\": "
+        << h.count << ", \"sum\": " << h.sum << ", \"min\": " << h.min
+        << ", \"max\": " << h.max << ", \"mean\": " << h.mean()
+        << ", \"p50\": " << h.p50 << ", \"p95\": " << h.p95
+        << ", \"p99\": " << h.p99 << "}";
+  }
+  out << (histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  return out.str();
 }
 
 }  // namespace opal

@@ -1,0 +1,152 @@
+#include "common/trace.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+
+namespace opal {
+
+std::string to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kEnqueue:
+      return "enqueue";
+    case TraceEventKind::kAdmit:
+      return "admit";
+    case TraceEventKind::kPrefixHit:
+      return "prefix_hit";
+    case TraceEventKind::kChunk:
+      return "chunk";
+    case TraceEventKind::kDecode:
+      return "decode";
+    case TraceEventKind::kSpecBurst:
+      return "spec_burst";
+    case TraceEventKind::kBudgetShrink:
+      return "budget_shrink";
+    case TraceEventKind::kPreempt:
+      return "preempt";
+    case TraceEventKind::kEvict:
+      return "evict";
+    case TraceEventKind::kFinish:
+      return "finish";
+    case TraceEventKind::kStep:
+      return "step";
+  }
+  return "?";
+}
+
+bool Tracer::env_enabled() {
+  const char* v = std::getenv("OPAL_TRACE");
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+Tracer::Tracer(bool enabled, std::size_t capacity)
+    : enabled_(enabled || env_enabled()),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (enabled_) ring_.reserve(capacity == 0 ? 1 : capacity);
+}
+
+std::uint64_t Tracer::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Tracer::emit(TraceEvent event) {
+  if (!enabled_) return;
+  if (event.ts_us == 0) event.ts_us = now_us();
+  if (ring_.size() < ring_.capacity()) {
+    ring_.push_back(event);
+  } else {
+    ring_[head_] = event;
+    head_ = (head_ + 1) % ring_.size();
+  }
+  ++total_;
+}
+
+std::size_t Tracer::size() const { return ring_.size(); }
+
+void Tracer::clear() {
+  ring_.clear();
+  head_ = 0;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events()) {
+    if (!first) out << ",";
+    first = false;
+    const bool complete = e.dur_us > 0;
+    const std::uint64_t start = complete ? e.ts_us - e.dur_us : e.ts_us;
+    out << "\n  {\"name\": \"" << to_string(e.kind) << "\", \"ph\": \""
+        << (complete ? "X" : "i") << "\", \"ts\": " << start
+        << ", \"pid\": 1, \"tid\": " << e.request;
+    if (complete) {
+      out << ", \"dur\": " << e.dur_us;
+    } else {
+      out << ", \"s\": \"t\"";
+    }
+    out << ", \"args\": {\"step\": " << e.step << ", \"a\": " << e.a
+        << ", \"b\": " << e.b << ", \"c\": " << e.c << ", \"d\": " << e.d
+        << "}}";
+  }
+  out << "\n]}\n";
+}
+
+void Tracer::write_step_trace(std::ostream& out) const {
+  const std::vector<TraceEvent> all = events();
+  out << "{\"schema\": \"opal.step_trace/v1\", \"steps\": [";
+  // Per-sequence events of a step precede its kStep record in emission
+  // order, so a single forward scan groups them.
+  std::vector<const TraceEvent*> pending;
+  bool first = true;
+  for (const TraceEvent& e : all) {
+    switch (e.kind) {
+      case TraceEventKind::kChunk:
+      case TraceEventKind::kDecode:
+      case TraceEventKind::kSpecBurst:
+        pending.push_back(&e);
+        break;
+      case TraceEventKind::kStep: {
+        if (!first) out << ",";
+        first = false;
+        out << "\n  {\"step\": " << e.step << ", \"dur_us\": " << e.dur_us
+            << ", \"batch\": " << e.a << ", \"rows\": " << e.b
+            << ", \"blocks_in_use\": " << e.c << ", \"blocks_free\": " << e.d
+            << ", \"seqs\": [";
+        bool seq_first = true;
+        for (const TraceEvent* s : pending) {
+          if (s->step != e.step) continue;  // orphan from an evicted step
+          if (!seq_first) out << ", ";
+          seq_first = false;
+          out << "{\"request\": " << s->request << ", \"kind\": \""
+              << to_string(s->kind) << "\", \"pos\": " << s->b
+              << ", \"rows\": " << s->a << ", \"kv_bytes\": " << s->c
+              << ", \"dur_us\": " << s->dur_us;
+          if (s->kind == TraceEventKind::kSpecBurst) {
+            out << ", \"committed\": " << s->d;
+          }
+          out << "}";
+        }
+        out << "]}";
+        pending.clear();
+        break;
+      }
+      default:
+        break;  // lifecycle events are not part of the step replay record
+    }
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace opal

@@ -1,0 +1,128 @@
+// Structured event tracer for the serving stack: a fixed-capacity ring
+// buffer of POD events, near-zero cost when disabled (one predictable
+// branch per would-be event), exportable as Chrome trace_event JSON
+// (about://tracing / ui.perfetto.dev) and as a replayable step-trace JSON
+// the accelerator-model replay can consume.
+//
+// Event taxonomy (what ServingEngine emits; see the Observability block in
+// llm/serving_engine.h for exactly when each fires):
+//
+//   kind          scope     payload a / b / c / d                   dur_us
+//   kEnqueue      request   prompt_len / target_len / priority / 0  -
+//   kAdmit        request   queue-wait steps / restored positions /
+//                           blocks held / 0                         -
+//   kPrefixHit    request   positions restored / columns / 0 / 0    -
+//   kChunk        request   rows fed / start position / KV bytes
+//                           written / 0                             decode us
+//   kDecode       request   1 / start position / KV bytes / 0       decode us
+//   kSpecBurst    request   rows fed / start position / KV bytes /
+//                           rows committed                          verify us
+//   kBudgetShrink request   budget before / 1 / 0 / 0               -
+//   kPreempt      request   kept positions / fed before / 0 / 0     -
+//   kEvict        request   generated so far / 0 / 0 / 0            -
+//   kFinish       request   generated / finish reason / 0 / 0       -
+//   kStep         engine    batch size / rows fed / blocks in use /
+//                           blocks free                             step us
+//
+// The tracer itself is engine-agnostic: it stores whatever events it is
+// handed. Like MetricsRegistry and KvBlockPool it is not internally
+// synchronized — emit() and the exports belong to a serial phase.
+//
+// Timestamps are wall-clock microseconds since the tracer's construction
+// (steady clock). Tracing never feeds back into control flow, so a traced
+// run is bitwise identical to an untraced one.
+//
+// Enabling: construct with enabled = true (ServingConfig::trace), or set
+// the OPAL_TRACE environment variable (non-empty, not "0") to force-enable
+// every tracer constructed afterwards.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace opal {
+
+enum class TraceEventKind : std::uint8_t {
+  kEnqueue,
+  kAdmit,
+  kPrefixHit,
+  kChunk,
+  kDecode,
+  kSpecBurst,
+  kBudgetShrink,
+  kPreempt,
+  kEvict,
+  kFinish,
+  kStep,
+};
+
+[[nodiscard]] std::string to_string(TraceEventKind kind);
+
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kStep;
+  /// Wall-clock microseconds since tracer construction, taken at emit time.
+  /// For events with a duration this is the span END (start = ts_us -
+  /// dur_us) — they are emitted when the measured work completes.
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;  // 0 for instant events
+  std::uint64_t step = 0;    // engine step counter when emitted
+  std::uint64_t request = 0;  // RequestId; 0 = engine-scoped
+  std::uint64_t a = 0, b = 0, c = 0, d = 0;  // kind-specific (header table)
+};
+
+class Tracer {
+ public:
+  /// `enabled || env_enabled()` activates the tracer; capacity is the ring
+  /// size in events (oldest overwritten first).
+  explicit Tracer(bool enabled = false, std::size_t capacity = 1 << 16);
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// True when OPAL_TRACE is set, non-empty, and not "0".
+  [[nodiscard]] static bool env_enabled();
+
+  /// Stores `event` (stamping ts_us if the caller left it 0). No-op when
+  /// disabled.
+  void emit(TraceEvent event);
+
+  /// Events ever emitted (including overwritten ones).
+  [[nodiscard]] std::uint64_t total_emitted() const { return total_; }
+  /// Events currently held (<= capacity).
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return ring_.capacity(); }
+  void clear();
+
+  /// Held events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Microseconds since construction — the timestamp emit() stamps.
+  [[nodiscard]] std::uint64_t now_us() const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}): duration events
+  /// become "X" complete events (per-request lanes via tid = request id,
+  /// step lane tid 0), instant events "i", all with their payload in args.
+  /// Loads in about://tracing and ui.perfetto.dev.
+  void write_chrome_trace(std::ostream& out) const;
+
+  /// Replayable step-trace JSON: one record per kStep event holding the
+  /// step's wall duration, batch composition, and the per-sequence
+  /// kChunk/kDecode/kSpecBurst events of that step (request, start
+  /// position, rows, KV bytes touched, verify commits). Steps whose
+  /// per-sequence events were already overwritten in the ring are emitted
+  /// with the events that survive; steps whose kStep record itself was
+  /// overwritten are dropped.
+  void write_step_trace(std::ostream& out) const;
+
+ private:
+  bool enabled_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;      // next write slot once the ring is full
+  std::uint64_t total_ = 0;   // lifetime emit count
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace opal

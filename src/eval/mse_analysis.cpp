@@ -1,6 +1,6 @@
 #include "eval/mse_analysis.h"
 
-#include "common/metrics.h"
+#include "common/error_metrics.h"
 #include "common/tensor.h"
 #include "eval/perplexity.h"
 

@@ -31,6 +31,7 @@ PrefixCache::~PrefixCache() {
 PrefixCache::Match PrefixCache::lookup(std::span<const std::size_t> tokens,
                                        std::size_t max_positions) {
   ++stat_lookups_;
+  if (m_lookups_ != nullptr) m_lookups_->add();
   ++clock_;
   const std::size_t bs = pool_->block_size();
   const std::size_t max_cols = std::min(tokens.size(), max_positions) / bs;
@@ -50,6 +51,10 @@ PrefixCache::Match PrefixCache::lookup(std::span<const std::size_t> tokens,
   if (match.positions > 0) {
     ++stat_hits_;
     stat_hit_positions_ += match.positions;
+    if (m_hits_ != nullptr) {
+      m_hits_->add();
+      m_hit_positions_->add(match.positions);
+    }
   }
   return match;
 }
@@ -94,6 +99,7 @@ std::size_t PrefixCache::insert(std::span<const std::size_t> tokens,
     node = next;
   }
   stat_inserted_columns_ += new_columns;
+  if (m_inserted_columns_ != nullptr) m_inserted_columns_->add(new_columns);
   return new_columns;
 }
 
@@ -148,7 +154,16 @@ std::size_t PrefixCache::reclaim(std::size_t min_blocks) {
     }
   }
   stat_reclaimed_blocks_ += freed;
+  if (m_reclaimed_blocks_ != nullptr) m_reclaimed_blocks_->add(freed);
   return freed;
+}
+
+void PrefixCache::bind_metrics(MetricsRegistry& registry) {
+  m_lookups_ = &registry.counter("prefix_cache.lookups");
+  m_hits_ = &registry.counter("prefix_cache.hits");
+  m_hit_positions_ = &registry.counter("prefix_cache.hit_positions");
+  m_inserted_columns_ = &registry.counter("prefix_cache.inserted_columns");
+  m_reclaimed_blocks_ = &registry.counter("prefix_cache.reclaimed_blocks");
 }
 
 PrefixCache::Stats PrefixCache::stats() const {

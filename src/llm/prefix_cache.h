@@ -44,6 +44,7 @@
 #include <span>
 #include <vector>
 
+#include "common/metrics.h"
 #include "llm/kv_block_pool.h"
 #include "llm/paged_kv_cache.h"
 
@@ -102,6 +103,13 @@ class PrefixCache {
   };
   [[nodiscard]] Stats stats() const;
 
+  /// Registers the cache's counters in `registry` (prefix_cache.lookups /
+  /// hits / hit_positions / inserted_columns / reclaimed_blocks) and
+  /// increments them alongside the Stats fields from here on. Counts
+  /// accumulated before binding are not back-filled. ServingEngine binds
+  /// its cache into the engine registry at construction.
+  void bind_metrics(MetricsRegistry& registry);
+
  private:
   struct Node {
     std::map<std::vector<std::size_t>, std::unique_ptr<Node>> children;
@@ -125,6 +133,12 @@ class PrefixCache {
   std::size_t stat_hit_positions_ = 0;
   std::size_t stat_inserted_columns_ = 0;
   std::size_t stat_reclaimed_blocks_ = 0;
+  // Optional bound metrics (see bind_metrics); null until bound.
+  Counter* m_lookups_ = nullptr;
+  Counter* m_hits_ = nullptr;
+  Counter* m_hit_positions_ = nullptr;
+  Counter* m_inserted_columns_ = nullptr;
+  Counter* m_reclaimed_blocks_ = nullptr;
 };
 
 }  // namespace opal

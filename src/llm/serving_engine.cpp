@@ -67,6 +67,39 @@ ServingEngine::ServingEngine(std::shared_ptr<const PreparedModel> model,
       return reclaim_cached(min_blocks);
     });
   }
+  // Observability (see the header's Observability block): register the
+  // engine's series once and cache the handles; bind every composed
+  // subsystem into the same registry. None of it is ever read back by a
+  // control path.
+  trace_ = Tracer(config_.trace, config_.trace_events);
+  em_.steps = &registry_.counter("serving.steps");
+  em_.stalls = &registry_.counter("serving.stalls");
+  em_.admissions = &registry_.counter("serving.admissions");
+  em_.preemptions = &registry_.counter("serving.preemptions");
+  em_.evictions = &registry_.counter("serving.evictions");
+  em_.finished = &registry_.counter("serving.finished");
+  em_.budget_shrinks = &registry_.counter("serving.budget_shrinks");
+  em_.tokens_decoded = &registry_.counter("serving.tokens_decoded");
+  em_.tokens_committed = &registry_.counter("serving.tokens_committed");
+  em_.spec_bursts = &registry_.counter("serving.spec_bursts");
+  em_.spec_drafted = &registry_.counter("serving.spec_drafted");
+  em_.spec_accepted = &registry_.counter("serving.spec_accepted");
+  em_.spec_rejected = &registry_.counter("serving.spec_rejected");
+  em_.running = &registry_.gauge("serving.running");
+  em_.queued = &registry_.gauge("serving.queued");
+  em_.queue_wait_ms = &registry_.histogram("serving.queue_wait_ms");
+  em_.ttft_ms = &registry_.histogram("serving.ttft_ms");
+  em_.itl_ms = &registry_.histogram("serving.itl_ms");
+  em_.step_ms = &registry_.histogram("serving.step_ms");
+  em_.decode_ms = &registry_.histogram("serving.decode_ms");
+  em_.prefill_chunk_ms = &registry_.histogram("serving.prefill_chunk_ms");
+  em_.spec_verify_ms = &registry_.histogram("serving.spec_verify_ms");
+  scheduler_->bind_metrics(registry_);
+  kv_pool_->bind_metrics(registry_);
+  if (prefix_cache_ != nullptr) prefix_cache_->bind_metrics(registry_);
+  // KV bytes one fed row writes: K and V, every layer, at the mode's width.
+  kv_row_bytes_ =
+      2 * mcfg.n_layers * mcfg.d_model * kv_bits_per_entry(ecfg.kv_mode) / 8;
 }
 
 ServingEngine::ServingEngine(const PreparedModel& model, ServingConfig config)
@@ -77,6 +110,10 @@ ServingEngine::ServingEngine(const PreparedModel& model, ServingConfig config)
 
 ServingEngine::~ServingEngine() {
   if (prefix_cache_ != nullptr) kv_pool_->unregister_reclaimer(this);
+  // A shared pool/scheduler can outlive this engine's registry: sever
+  // their bindings (no-ops when a sibling engine bound after us).
+  kv_pool_->unbind_metrics(registry_);
+  scheduler_->unbind_metrics(registry_);
 }
 
 RequestId ServingEngine::submit(Request request) {
@@ -92,6 +129,7 @@ RequestId ServingEngine::submit(Request request) {
   seq.id = next_id_++;
   seq.priority = request.priority;
   seq.submit_step = step_counter_;
+  seq.submit_tp = std::chrono::steady_clock::now();
   seq.result.status = RequestStatus::kQueued;
   seq.result.tokens = std::move(request.prompt);
   seq.result.prompt_len = seq.result.tokens.size();
@@ -108,14 +146,24 @@ RequestId ServingEngine::submit(Request request) {
   // serial planning phase, so stateful drafters need no synchronization.
   if (config_.speculative.enabled()) {
     seq.drafter = make_drafter(config_.speculative);
+    // Per-request drafters share one engine's drafter.* counters.
+    if (seq.drafter != nullptr) seq.drafter->bind_metrics(registry_);
   }
   // The RNG stream starts at draw 0 of the request's seed; the checkpoint
   // is moved into the SequenceState at admission and back here whenever the
   // KV is fully released (see Sequence::sampler_ckpt).
   seq.sampler_ckpt.rng = CounterRng(seq.sampling.seed);
   ++prio_stats_[seq.priority].submitted;
+  trace_.emit({.kind = TraceEventKind::kEnqueue,
+               .step = step_counter_,
+               .request = seq.id,
+               .a = seq.result.prompt_len,
+               .b = seq.target_len,
+               .c = static_cast<std::uint64_t>(
+                   static_cast<std::int64_t>(seq.priority))});
   const RequestId id = seq.id;
   queue_.push_back(std::move(seq));
+  em_.queued->set(static_cast<double>(queue_.size()));
   return id;
 }
 
@@ -179,6 +227,11 @@ void ServingEngine::restore_cached_prefix(Sequence& seq) {
   if (match.positions == 0) return;
   seq.state->adopt_prefix(match.columns, match.positions);
   seq.fed = match.positions;  // prefill skips the restored positions
+  trace_.emit({.kind = TraceEventKind::kPrefixHit,
+               .step = step_counter_,
+               .request = seq.id,
+               .a = match.positions,
+               .b = match.columns.size()});
 }
 
 void ServingEngine::maybe_cache_prefix(const Sequence& seq) {
@@ -265,6 +318,14 @@ void ServingEngine::admit_from_queue() {
           seq.spec_drafts.clear();  // a pre-preemption burst is stale
           seq.result.status = RequestStatus::kRunning;
           batch_.push_back(std::move(seq));
+          em_.admissions->add();
+          const Sequence& adm = batch_.back();
+          trace_.emit({.kind = TraceEventKind::kAdmit,
+                       .step = step_counter_,
+                       .request = adm.id,
+                       .a = step_counter_ - adm.submit_step,
+                       .b = adm.fed,
+                       .c = adm.state->blocks_held()});
           admitted = true;
           break;
         }
@@ -294,8 +355,14 @@ bool ServingEngine::reclaim_queued_prefix() {
   for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
     if (it->state != nullptr && it->state->blocks_held() > 0) {
       it->downgraded = true;  // must not hold a re-adoption through failure
+      const std::size_t fed_before = it->fed;
       release_sequence_kv(*it);
       ++stat_preemptions_;
+      em_.preemptions->add();
+      trace_.emit({.kind = TraceEventKind::kPreempt,
+                   .step = step_counter_,
+                   .request = it->id,
+                   .b = fed_before});
       return true;
     }
   }
@@ -324,6 +391,12 @@ bool ServingEngine::ensure_kv_capacity(std::vector<std::size_t>& budgets) {
       }
     }
     if (widest != Scheduler::kNone) {
+      em_.budget_shrinks->add();
+      trace_.emit({.kind = TraceEventKind::kBudgetShrink,
+                   .step = step_counter_,
+                   .request = batch_[widest].id,
+                   .a = budgets[widest],
+                   .b = 1});
       budgets[widest] = 1;
       continue;
     }
@@ -376,9 +449,15 @@ bool ServingEngine::ensure_kv_capacity(std::vector<std::size_t>& budgets) {
     Sequence victim = std::move(batch_[pick]);
     batch_.erase(batch_.begin() + static_cast<std::ptrdiff_t>(pick));
     budgets.erase(budgets.begin() + static_cast<std::ptrdiff_t>(pick));
+    const std::size_t fed_before = victim.fed;
     release_sequence_kv(victim);
     victim.result.status = RequestStatus::kQueued;
     ++stat_preemptions_;
+    em_.preemptions->add();
+    trace_.emit({.kind = TraceEventKind::kPreempt,
+                 .step = step_counter_,
+                 .request = victim.id,
+                 .b = fed_before});
     queue_.push_front(std::move(victim));
   }
 }
@@ -392,9 +471,20 @@ void ServingEngine::finish(Sequence&& seq, RequestStatus status) {
   if (status == RequestStatus::kEvicted) {
     ++stat_evictions_;
     ++prio_stats_[seq.priority].evicted;
+    em_.evictions->add();
+    trace_.emit({.kind = TraceEventKind::kEvict,
+                 .step = step_counter_,
+                 .request = seq.id,
+                 .a = seq.result.generated()});
   } else {
     ++prio_stats_[seq.priority].finished;
     ++finish_counts_[seq.result.finish_reason];
+    em_.finished->add();
+    trace_.emit({.kind = TraceEventKind::kFinish,
+                 .step = step_counter_,
+                 .request = seq.id,
+                 .a = seq.result.generated(),
+                 .b = static_cast<std::uint64_t>(seq.result.finish_reason)});
   }
   scheduler_->on_retired(seq.id);
   done_.emplace(seq.id, std::move(seq.result));
@@ -410,6 +500,7 @@ ServingEngine::Sequence* ServingEngine::find_running(RequestId id) {
 void ServingEngine::preempt(RequestId id, std::size_t keep_positions) {
   Sequence* seq = find_running(id);
   require(seq != nullptr, "ServingEngine::preempt: request is not running");
+  const std::size_t fed_before = seq->fed;
   if (keep_positions == 0) {
     // Full preemption releases every KV block (the point of preempting
     // under memory pressure); the full columns are indexed first so a
@@ -442,6 +533,12 @@ void ServingEngine::preempt(RequestId id, std::size_t keep_positions) {
   seq->fed = keep_positions;  // replay the rest on readmission
   seq->result.status = RequestStatus::kQueued;
   ++stat_preemptions_;
+  em_.preemptions->add();
+  trace_.emit({.kind = TraceEventKind::kPreempt,
+               .step = step_counter_,
+               .request = seq->id,
+               .a = keep_positions,
+               .b = fed_before});
   const std::ptrdiff_t index = seq - batch_.data();
   queue_.push_back(std::move(*seq));
   batch_.erase(batch_.begin() + index);
@@ -449,6 +546,8 @@ void ServingEngine::preempt(RequestId id, std::size_t keep_positions) {
 
 std::size_t ServingEngine::step() {
   ++step_counter_;
+  em_.steps->add();
+  const std::uint64_t step_t0_us = trace_.now_us();
   admit_from_queue();
 
   // Retire completed sequences a prior step could not retire (its observer
@@ -536,8 +635,17 @@ std::size_t ServingEngine::step() {
   // sequence, evicting) first. A false return means a shared pool's blocks
   // are transiently held by another engine — stall this step rather than
   // decode into exhaustion.
-  if (!ensure_kv_capacity(budgets_)) return 0;
-  if (batch_.empty()) return 0;
+  if (!ensure_kv_capacity(budgets_)) {
+    em_.stalls->add();
+    em_.running->set(static_cast<double>(batch_.size()));
+    em_.queued->set(static_cast<double>(queue_.size()));
+    return 0;
+  }
+  if (batch_.empty()) {
+    em_.running->set(0.0);
+    em_.queued->set(static_cast<double>(queue_.size()));
+    return 0;
+  }
 
   // Serial reservation phase: all pool allocation for this step happens
   // here, so the parallel decode below never mutates shared pool state.
@@ -550,6 +658,8 @@ std::size_t ServingEngine::step() {
       batch_[i].state->begin_spec_capture(budgets_[i]);
     }
   }
+  decode_end_us_.resize(batch_.size());
+  decode_dur_us_.resize(batch_.size());
 
   // Parallel phase: decode each sequence's budget — one token through
   // step(), a multi-token chunk through prefill_chunk() (bitwise identical
@@ -561,6 +671,9 @@ std::size_t ServingEngine::step() {
   auto decode_one = [this](std::size_t i) {
     Sequence& seq = batch_[i];
     const std::size_t n = budgets_[i];
+    // Per-slot timing into disjoint scratch slots: the registry itself is
+    // only touched later, on the serial phase.
+    const std::uint64_t t0 = trace_.now_us();
     if (!seq.spec_drafts.empty() && n > 1) {
       model_->prefill_chunk(
           *seq.state, std::span<const std::size_t>(seq.spec_drafts).first(n));
@@ -571,6 +684,8 @@ std::size_t ServingEngine::step() {
           *seq.state,
           std::span<const std::size_t>(seq.result.tokens).subspan(seq.fed, n));
     }
+    decode_end_us_[i] = trace_.now_us();
+    decode_dur_us_[i] = decode_end_us_[i] - t0;
   };
   if (pool_ != nullptr) {
     pool_->parallel_for(batch_.size(), decode_one);
@@ -583,6 +698,13 @@ std::size_t ServingEngine::step() {
   // observer fires, so a throwing observer can never leave a sequence's fed
   // counter out of sync with its already-advanced KV cache.
   const std::size_t decoded = batch_.size();
+  // One wall-clock anchor for the whole serial phase: queue-wait/TTFT/ITL
+  // are request-level latencies, for which per-slot resolution is noise.
+  const auto now_tp = std::chrono::steady_clock::now();
+  const auto to_ms = [](std::chrono::steady_clock::duration d) {
+    return std::chrono::duration<double, std::milli>(d).count();
+  };
+  std::size_t rows_fed_total = 0;
   fed_pos_.resize(decoded);
   if (emitted_.size() < decoded) emitted_.resize(decoded);
   for (std::size_t i = 0; i < decoded; ++i) emitted_[i].clear();
@@ -592,12 +714,15 @@ std::size_t ServingEngine::step() {
     const bool spec = !seq.spec_drafts.empty() && n > 1;
     fed_pos_[i] = seq.fed;  // first position fed this step
     stat_tokens_ += n;      // rows executed, including rejected verify rows
+    em_.tokens_decoded->add(n);
+    rows_fed_total += n;
     auto& prio = prio_stats_[seq.priority];
     if (!seq.wait_counted) {
       seq.wait_counted = true;
       prio.queue_wait_steps +=
           static_cast<std::size_t>(step_counter_ - seq.submit_step - 1);
       ++prio.first_decodes;
+      em_.queue_wait_ms->observe(to_ms(now_tp - seq.submit_tp));
     }
     std::size_t committed = n;
     if (spec) {
@@ -650,6 +775,10 @@ std::size_t ServingEngine::step() {
       stat_spec_drafted_ += n - 1;
       stat_spec_accepted_ += committed - 1;
       stat_spec_rejected_ += n - committed;
+      em_.spec_bursts->add();
+      em_.spec_drafted->add(n - 1);
+      em_.spec_accepted->add(committed - 1);
+      em_.spec_rejected->add(n - committed);
       seq.drafter->observe(seq.result.tokens, committed - 1);
     } else {
       const std::span<const float> logits = seq.state->logits();
@@ -691,7 +820,41 @@ std::size_t ServingEngine::step() {
     // kept (committed == n on every non-speculative path).
     seq.tokens_served += committed;
     prio.tokens_served += committed;
+    em_.tokens_committed->add(committed);
     scheduler_->on_served(seq.id, committed);
+    // Wall-clock latency per sampled token: TTFT on the request's first
+    // generated token, ITL between consecutive ones. Tokens of one verify
+    // burst share the step's timestamp, so intra-burst ITL is ~0 — the
+    // stream really does arrive in bursts.
+    for (std::size_t j = 0; j < emitted_[i].size(); ++j) {
+      if (!seq.has_token) {
+        seq.has_token = true;
+        em_.ttft_ms->observe(to_ms(now_tp - seq.submit_tp));
+      } else {
+        em_.itl_ms->observe(to_ms(now_tp - seq.last_token_tp));
+      }
+      seq.last_token_tp = now_tp;
+    }
+    // Per-slot model-pass cost, from the parallel phase's scratch.
+    const double pass_ms = static_cast<double>(decode_dur_us_[i]) / 1000.0;
+    if (spec) {
+      em_.spec_verify_ms->observe(pass_ms);
+    } else if (n > 1) {
+      em_.prefill_chunk_ms->observe(pass_ms);
+    } else {
+      em_.decode_ms->observe(pass_ms);
+    }
+    trace_.emit({.kind = spec ? TraceEventKind::kSpecBurst
+                              : (n > 1 ? TraceEventKind::kChunk
+                                       : TraceEventKind::kDecode),
+                 .ts_us = decode_end_us_[i],
+                 .dur_us = decode_dur_us_[i],
+                 .step = step_counter_,
+                 .request = seq.id,
+                 .a = n,
+                 .b = fed_pos_[i],
+                 .c = n * kv_row_bytes_,
+                 .d = spec ? committed : 0});
   }
 
   // Observer pass: sequence states (and their logits buffers) are all still
@@ -755,6 +918,22 @@ std::size_t ServingEngine::step() {
     }
   }
   batch_.resize(keep);
+
+  // Step record: per-sequence events above precede it in emission order,
+  // which is what write_step_trace's single forward scan groups on.
+  const std::uint64_t step_end_us = trace_.now_us();
+  em_.step_ms->observe(static_cast<double>(step_end_us - step_t0_us) /
+                       1000.0);
+  trace_.emit({.kind = TraceEventKind::kStep,
+               .ts_us = step_end_us,
+               .dur_us = step_end_us - step_t0_us,
+               .step = step_counter_,
+               .a = decoded,
+               .b = rows_fed_total,
+               .c = kv_pool_->blocks_in_use(),
+               .d = kv_pool_->free_blocks()});
+  em_.running->set(static_cast<double>(batch_.size()));
+  em_.queued->set(static_cast<double>(queue_.size()));
   return decoded;
 }
 

@@ -130,8 +130,39 @@
 // mid-block, which leaves the boundary block's grow-only scale reflecting
 // discarded rows — is fenced off: columns at or past such a truncation are
 // never indexed (see Sequence::non_canonical_from).
+//
+// Observability (common/metrics.h, common/trace.h): the engine owns a
+// MetricsRegistry that every composed subsystem binds into — Scheduler,
+// per-request Drafters, PrefixCache, and the KvBlockPool — so metrics()
+// snapshots the whole serving stack at once. The registry holds two kinds
+// of series:
+//   * deterministic counters (serving.steps / tokens_decoded /
+//     tokens_committed / admissions / preemptions / evictions / finished /
+//     stalls / budget_shrinks / spec_*) that exactly mirror the
+//     corresponding Stats fields — same increments, same call sites — plus
+//     the subsystems' own counters (prefix_cache.*, kv_pool.*,
+//     scheduler.*, drafter.*);
+//   * wall-clock latency histograms (serving.queue_wait_ms / ttft_ms /
+//     itl_ms / step_ms / decode_ms / prefill_chunk_ms / spec_verify_ms)
+//     with p50/p95/p99 extraction — TTFT and inter-token latency are
+//     measured per sampled token, chunk and spec-verify costs per model
+//     pass, step_ms per decoding step.
+// Structured tracing (ServingConfig::trace, or the OPAL_TRACE env var)
+// records per-request lifecycle events (enqueue, admit, prefix-hit, chunk,
+// decode, spec-burst, budget-shrink, preempt, evict, finish) and one
+// engine-scoped record per step (batch composition, rows fed, block
+// occupancy) into tracer()'s ring buffer, exportable as Chrome trace JSON
+// and as a replayable step-trace JSON (see trace.h for the event payloads).
+// The contract for ALL of it: instrumentation never feeds back into
+// control flow, so an instrumented run is bitwise identical to an
+// uninstrumented one — metrics are always on (cheap integer bumps and a
+// handful of clock reads per step), tracing is opt-in and costs one
+// predictable branch per event when off. Timing of the parallel decode
+// phase is captured into per-slot scratch and observed serially, so the
+// registry needs no synchronization (see metrics.h).
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -143,7 +174,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "llm/drafter.h"
 #include "llm/kv_block_pool.h"
 #include "llm/prefix_cache.h"
@@ -241,6 +274,15 @@ struct ServingConfig {
   /// burst reuses the chunked-prefill machinery but is capped by
   /// draft_tokens, not the prefill chunk width).
   SpeculativeConfig speculative;
+  /// Structured event tracing (see common/trace.h and the Observability
+  /// block above): per-request lifecycle and per-step events into a ring
+  /// buffer, exportable via ServingEngine::tracer() as Chrome trace JSON
+  /// or replayable step-trace JSON. The OPAL_TRACE environment variable
+  /// (non-empty, not "0") force-enables tracing regardless of this flag.
+  /// Tracing never feeds control flow — traced runs are bitwise identical.
+  bool trace = false;
+  /// Trace ring capacity in events (oldest overwritten first).
+  std::size_t trace_events = 1 << 16;
 };
 
 class ServingEngine {
@@ -377,6 +419,26 @@ class ServingEngine {
     std::map<FinishReason, std::size_t> finish_reasons;
   };
   [[nodiscard]] Stats stats() const;
+
+  /// Point-in-time snapshot of the engine's metrics registry: the
+  /// deterministic counters mirroring Stats, the wall-clock latency
+  /// histograms (p50/p95/p99), and the bound subsystem metrics
+  /// (prefix_cache.*, kv_pool.*, scheduler.*, drafter.*) — see the
+  /// Observability block in the header comment. Serial-phase only, like
+  /// stats().
+  [[nodiscard]] MetricsRegistry::Snapshot metrics() const {
+    return registry_.snapshot();
+  }
+  /// The registry itself, so callers can put their own series next to the
+  /// engine's (the SLO bench does) or cache metric handles. Same
+  /// external-serialization contract as every other engine call.
+  [[nodiscard]] MetricsRegistry& metrics_registry() { return registry_; }
+
+  /// The engine's event tracer — disabled (and empty) unless
+  /// ServingConfig::trace or OPAL_TRACE is set. Export with
+  /// Tracer::write_chrome_trace / write_step_trace.
+  [[nodiscard]] Tracer& tracer() { return trace_; }
+  [[nodiscard]] const Tracer& tracer() const { return trace_; }
 
   /// The active scheduling policy (never null; FifoScheduler by default).
   [[nodiscard]] const Scheduler& scheduler() const { return *scheduler_; }
@@ -518,6 +580,14 @@ class ServingEngine {
     // erases and preemption moves keep it aligned with its owner.
     std::unique_ptr<Drafter> drafter;
     std::vector<std::size_t> spec_drafts;
+    // Wall-clock observability (never read by any control path): when the
+    // request was submitted, and when its latest sampled token was
+    // produced — the anchors for the queue-wait/TTFT/ITL histograms. The
+    // step-denominated counterparts above (submit_step, wait_counted,
+    // ttft_counted) stay deterministic.
+    std::chrono::steady_clock::time_point submit_tp{};
+    std::chrono::steady_clock::time_point last_token_tp{};
+    bool has_token = false;  // last_token_tp is valid
     std::unique_ptr<SequenceState> state;  // kept across preemption
   };
 
@@ -562,6 +632,41 @@ class ServingEngine {
 
   std::shared_ptr<const PreparedModel> model_;
   ServingConfig config_;
+  MetricsRegistry registry_;
+  Tracer trace_;
+  /// Metric handles cached at construction (stable for the registry's
+  /// lifetime) so the hot path increments pointers, never looks up names.
+  struct EngineMetrics {
+    Counter* steps = nullptr;
+    Counter* stalls = nullptr;
+    Counter* admissions = nullptr;
+    Counter* preemptions = nullptr;
+    Counter* evictions = nullptr;
+    Counter* finished = nullptr;
+    Counter* budget_shrinks = nullptr;
+    Counter* tokens_decoded = nullptr;
+    Counter* tokens_committed = nullptr;
+    Counter* spec_bursts = nullptr;
+    Counter* spec_drafted = nullptr;
+    Counter* spec_accepted = nullptr;
+    Counter* spec_rejected = nullptr;
+    Gauge* running = nullptr;
+    Gauge* queued = nullptr;
+    Histogram* queue_wait_ms = nullptr;
+    Histogram* ttft_ms = nullptr;
+    Histogram* itl_ms = nullptr;
+    Histogram* step_ms = nullptr;
+    Histogram* decode_ms = nullptr;
+    Histogram* prefill_chunk_ms = nullptr;
+    Histogram* spec_verify_ms = nullptr;
+  };
+  EngineMetrics em_;
+  std::size_t kv_row_bytes_ = 0;  // KV bytes one fed row writes (all layers)
+  // Per-slot timing scratch: written by the parallel decode phase (distinct
+  // indices per slot), observed into histograms serially — the registry
+  // itself is never touched off the serial phase.
+  std::vector<std::uint64_t> decode_end_us_;
+  std::vector<std::uint64_t> decode_dur_us_;
   std::shared_ptr<Scheduler> scheduler_;
   std::unique_ptr<ThreadPool> pool_;  // null when n_threads == 0
   std::shared_ptr<KvBlockPool> kv_pool_;

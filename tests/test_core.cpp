@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "common/metrics.h"
+#include "common/error_metrics.h"
 #include "common/rng.h"
 #include "owq/owq.h"
 #include "quant/mx_opal.h"

@@ -4,7 +4,7 @@
 
 #include <cmath>
 
-#include "common/metrics.h"
+#include "common/error_metrics.h"
 #include "common/rng.h"
 
 namespace opal {

@@ -7,7 +7,7 @@
 
 #include "accel/core.h"
 #include "accel/device.h"
-#include "common/metrics.h"
+#include "common/error_metrics.h"
 #include "eval/perplexity.h"
 #include "eval/schemes.h"
 #include "eval/tasks.h"

@@ -4,7 +4,7 @@
 
 #include "common/bfloat16.h"
 #include "common/float_bits.h"
-#include "common/metrics.h"
+#include "common/error_metrics.h"
 #include "common/rng.h"
 #include "quant/mx_opal.h"
 #include "quant/mxint.h"

@@ -2,55 +2,263 @@
 
 #include <gtest/gtest.h>
 
-#include <cmath>
-#include <limits>
+#include <cstdlib>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
+
+#include "common/trace.h"
 
 namespace opal {
 namespace {
 
-TEST(Metrics, MseZeroForIdentical) {
-  const std::vector<float> v = {1.0f, -2.0f, 3.0f};
-  EXPECT_EQ(mse(v, v), 0.0);
-  EXPECT_EQ(mae(v, v), 0.0);
-  EXPECT_EQ(max_abs_err(v, v), 0.0);
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
 }
 
-TEST(Metrics, MseKnownValue) {
-  const std::vector<float> a = {0.0f, 0.0f};
-  const std::vector<float> b = {1.0f, -3.0f};
-  EXPECT_DOUBLE_EQ(mse(a, b), (1.0 + 9.0) / 2.0);
-  EXPECT_DOUBLE_EQ(mae(a, b), 2.0);
-  EXPECT_DOUBLE_EQ(max_abs_err(a, b), 3.0);
+TEST(Gauge, HoldsLastWrite) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
 }
 
-TEST(Metrics, SqnrInfiniteWhenExact) {
-  const std::vector<float> v = {1.0f, 2.0f};
-  EXPECT_EQ(sqnr_db(v, v), std::numeric_limits<double>::infinity());
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(Histogram(std::vector<double>{1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(Histogram(std::vector<double>{2.0, 1.0}),
+               std::invalid_argument);
 }
 
-TEST(Metrics, SqnrKnownValue) {
-  // Signal power 1, noise power 0.01 -> 20 dB.
-  const std::vector<float> ref = {1.0f};
-  const std::vector<float> test = {0.9f};
-  EXPECT_NEAR(sqnr_db(ref, test), 20.0, 1e-4);
+TEST(Histogram, CountSumMinMaxExact) {
+  Histogram h(std::vector<double>{1.0, 10.0, 100.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(500.0);  // overflow bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 505.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 500.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 505.5 / 3.0);
+  // bucket layout: (-inf,1], (1,10], (10,100], overflow
+  ASSERT_EQ(h.buckets().size(), 4u);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 0u);
+  EXPECT_EQ(h.buckets()[3], 1u);
 }
 
-TEST(Metrics, SqnrImprovesWithSmallerError) {
-  const std::vector<float> ref = {1.0f, -1.0f, 2.0f};
-  std::vector<float> coarse = {1.2f, -0.8f, 2.2f};
-  std::vector<float> fine = {1.02f, -0.98f, 2.02f};
-  EXPECT_GT(sqnr_db(ref, fine), sqnr_db(ref, coarse));
+TEST(Histogram, QuantilesClampedToObservedRange) {
+  Histogram h(std::vector<double>{1.0, 10.0, 100.0});
+  for (int i = 0; i < 100; ++i) h.observe(5.0);
+  // Every observation in one bucket: interpolation cannot leave [min, max].
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
 }
 
-TEST(Metrics, RejectsMismatchedOrEmpty) {
-  const std::vector<float> a = {1.0f};
-  const std::vector<float> b = {1.0f, 2.0f};
-  EXPECT_THROW(static_cast<void>(mse(a, b)), std::invalid_argument);
-  EXPECT_THROW(
-      static_cast<void>(mse(std::vector<float>{}, std::vector<float>{})),
-      std::invalid_argument);
+TEST(Histogram, QuantileOrderingAcrossBuckets) {
+  Histogram h(std::vector<double>{1.0, 10.0, 100.0, 1000.0});
+  for (int i = 0; i < 50; ++i) h.observe(5.0);
+  for (int i = 0; i < 45; ++i) h.observe(50.0);
+  for (int i = 0; i < 5; ++i) h.observe(500.0);
+  const double p50 = h.quantile(0.5);
+  const double p95 = h.quantile(0.95);
+  const double p99 = h.quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GT(p50, 1.0);    // p50 lands in the (1,10] bucket
+  EXPECT_LE(p50, 10.0);
+  EXPECT_GT(p99, 100.0);  // p99 lands in the tail
+  EXPECT_LE(p99, 500.0);  // clamped to the observed max
+}
+
+TEST(Histogram, DefaultBoundsCoverMicrosecondsToSeconds) {
+  const auto bounds = default_latency_bounds_ms();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_LE(bounds.front(), 0.001);   // ~1us
+  EXPECT_GE(bounds.back(), 10000.0);  // >= 10s
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(Registry, HandlesAreStableAndNamed) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("a");
+  Gauge& g = reg.gauge("g");
+  Histogram& h = reg.histogram("h");
+  // Registering more metrics must not move earlier handles.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("c" + std::to_string(i));
+    reg.histogram("h" + std::to_string(i));
+  }
+  EXPECT_EQ(&reg.counter("a"), &a);
+  EXPECT_EQ(&reg.gauge("g"), &g);
+  EXPECT_EQ(&reg.histogram("h"), &h);
+  // Same name, different bounds: first registration wins.
+  Histogram& h2 = reg.histogram("h", std::vector<double>{1.0});
+  EXPECT_EQ(&h2, &h);
+}
+
+TEST(Registry, SnapshotFindsAndSerializes) {
+  MetricsRegistry reg;
+  reg.counter("steps").add(7);
+  reg.gauge("running").set(3.0);
+  reg.histogram("lat_ms").observe(2.5);
+  const auto snap = reg.snapshot();
+  ASSERT_NE(snap.find_counter("steps"), nullptr);
+  EXPECT_EQ(snap.counter_value("steps"), 7u);
+  EXPECT_EQ(snap.counter_value("missing"), 0u);
+  EXPECT_EQ(snap.find_counter("missing"), nullptr);
+  ASSERT_NE(snap.find_gauge("running"), nullptr);
+  EXPECT_EQ(snap.find_gauge("running")->value, 3.0);
+  const auto* h = snap.find_histogram("lat_ms");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1u);
+  EXPECT_DOUBLE_EQ(h->p50, 2.5);  // single sample: clamped to min == max
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"steps\""), std::string::npos);
+  EXPECT_NE(json.find("\"lat_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(Trace, DisabledTracerDropsEverything) {
+  Tracer t(false, 8);
+  t.emit({.kind = TraceEventKind::kStep});
+  EXPECT_FALSE(t.enabled());
+  EXPECT_EQ(t.total_emitted(), 0u);
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(Trace, RingOverwritesOldestFirst) {
+  Tracer t(true, 4);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    t.emit({.kind = TraceEventKind::kStep, .step = i});
+  }
+  EXPECT_EQ(t.total_emitted(), 6u);
+  const auto events = t.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest first: steps 2, 3, 4, 5 survive.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].step, i + 2);
+  }
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(Trace, EmitStampsTimestamps) {
+  Tracer t(true, 8);
+  t.emit({.kind = TraceEventKind::kEnqueue, .request = 1});
+  const std::uint64_t later = t.now_us();
+  const auto events = t.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_LE(events[0].ts_us, later);
+  // An explicit timestamp is kept.
+  t.emit({.kind = TraceEventKind::kStep, .ts_us = 12345});
+  EXPECT_EQ(t.events()[1].ts_us, 12345u);
+}
+
+TEST(Trace, EnvVarForceEnables) {
+  ASSERT_EQ(std::getenv("OPAL_TRACE"), nullptr);
+  setenv("OPAL_TRACE", "1", 1);
+  EXPECT_TRUE(Tracer::env_enabled());
+  Tracer on(false, 8);
+  EXPECT_TRUE(on.enabled());
+  setenv("OPAL_TRACE", "0", 1);
+  EXPECT_FALSE(Tracer::env_enabled());
+  unsetenv("OPAL_TRACE");
+  EXPECT_FALSE(Tracer::env_enabled());
+  Tracer off(false, 8);
+  EXPECT_FALSE(off.enabled());
+}
+
+TEST(Trace, ChromeExportIsWellFormed) {
+  Tracer t(true, 16);
+  t.emit({.kind = TraceEventKind::kEnqueue, .request = 3, .a = 10, .b = 18});
+  t.emit({.kind = TraceEventKind::kDecode,
+          .ts_us = 900,
+          .dur_us = 250,
+          .step = 1,
+          .request = 3,
+          .a = 1});
+  t.emit({.kind = TraceEventKind::kStep,
+          .ts_us = 1000,
+          .dur_us = 400,
+          .step = 1,
+          .a = 1});
+  std::ostringstream out;
+  t.write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);  // instant
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);  // complete
+  EXPECT_NE(json.find("\"enqueue\""), std::string::npos);
+  // Complete events start at ts - dur.
+  EXPECT_NE(json.find("\"ts\": 650"), std::string::npos);
+}
+
+TEST(Trace, StepTraceGroupsSequenceEventsUnderTheirStep) {
+  Tracer t(true, 16);
+  t.emit({.kind = TraceEventKind::kChunk,
+          .ts_us = 500,
+          .dur_us = 100,
+          .step = 4,
+          .request = 7,
+          .a = 8,
+          .b = 0,
+          .c = 1024});
+  t.emit({.kind = TraceEventKind::kSpecBurst,
+          .ts_us = 600,
+          .dur_us = 80,
+          .step = 4,
+          .request = 9,
+          .a = 3,
+          .b = 12,
+          .c = 384,
+          .d = 2});
+  t.emit({.kind = TraceEventKind::kStep,
+          .ts_us = 700,
+          .dur_us = 300,
+          .step = 4,
+          .a = 2,
+          .b = 11,
+          .c = 5,
+          .d = 3});
+  std::ostringstream out;
+  t.write_step_trace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"opal.step_trace/v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"step\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"chunk\""), std::string::npos);
+  EXPECT_NE(json.find("\"spec_burst\""), std::string::npos);
+  EXPECT_NE(json.find("\"committed\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"blocks_free\": 3"), std::string::npos);
+}
+
+TEST(Trace, ToStringCoversEveryKind) {
+  EXPECT_EQ(to_string(TraceEventKind::kEnqueue), "enqueue");
+  EXPECT_EQ(to_string(TraceEventKind::kAdmit), "admit");
+  EXPECT_EQ(to_string(TraceEventKind::kPrefixHit), "prefix_hit");
+  EXPECT_EQ(to_string(TraceEventKind::kChunk), "chunk");
+  EXPECT_EQ(to_string(TraceEventKind::kDecode), "decode");
+  EXPECT_EQ(to_string(TraceEventKind::kSpecBurst), "spec_burst");
+  EXPECT_EQ(to_string(TraceEventKind::kBudgetShrink), "budget_shrink");
+  EXPECT_EQ(to_string(TraceEventKind::kPreempt), "preempt");
+  EXPECT_EQ(to_string(TraceEventKind::kEvict), "evict");
+  EXPECT_EQ(to_string(TraceEventKind::kFinish), "finish");
+  EXPECT_EQ(to_string(TraceEventKind::kStep), "step");
 }
 
 }  // namespace

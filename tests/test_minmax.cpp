@@ -5,7 +5,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/metrics.h"
+#include "common/error_metrics.h"
 #include "common/rng.h"
 
 namespace opal {

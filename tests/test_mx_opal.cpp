@@ -6,7 +6,7 @@
 #include <cmath>
 #include <tuple>
 
-#include "common/metrics.h"
+#include "common/error_metrics.h"
 #include "common/rng.h"
 #include "quant/mxint.h"
 

@@ -5,7 +5,7 @@
 #include <cmath>
 #include <tuple>
 
-#include "common/metrics.h"
+#include "common/error_metrics.h"
 #include "common/rng.h"
 
 namespace opal {

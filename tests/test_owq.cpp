@@ -6,7 +6,7 @@
 #include <cmath>
 
 #include "common/bfloat16.h"
-#include "common/metrics.h"
+#include "common/error_metrics.h"
 #include "common/rng.h"
 #include "owq/calibration.h"
 

@@ -6,7 +6,7 @@
 #include <cmath>
 
 #include "common/float_bits.h"
-#include "common/metrics.h"
+#include "common/error_metrics.h"
 #include "common/rng.h"
 #include "quant/minmax.h"
 #include "quant/mx_opal.h"
