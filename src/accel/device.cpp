@@ -180,7 +180,7 @@ struct OpBytes {
 };
 
 OpBytes op_bytes(const DeviceConfig& device, const ModelConfig& model,
-                 const TokenOp& op, std::size_t seq_len) {
+                 const TokenOp& op) {
   const double weight_elem_bits =
       static_cast<double>(device.weight_bits) +
       (device.kind == DeviceKind::kBF16 ? 0.0 : device.weight_bits_overhead);
@@ -202,10 +202,10 @@ OpBytes op_bytes(const DeviceConfig& device, const ModelConfig& model,
     case OpKind::kKvMxv:
     case OpKind::kShiftAccAv: {
       // K or V cache streamed from DRAM through the activation buffer.
-      // Block-granular: the paged cache stores whole blocks (sequence
-      // rounded up) plus a per-block scale at sub-32-bit precision.
+      // Block-granular: the paged cache stores whole blocks (the op's
+      // kv_len rounded up) plus a per-block scale at sub-32-bit precision.
       const double kv_bytes = static_cast<double>(KvCache::matrix_bytes(
-          model.d_model, seq_len,
+          model.d_model, op.kv_len,
           static_cast<std::size_t>(device.act.max()),
           device.kv_block_size));
       bytes.dram = kv_bytes;
@@ -236,7 +236,7 @@ std::vector<OpTraceEntry> trace_token(const DeviceConfig& device,
     const OpCost cost = device.kind == DeviceKind::kOpal
                             ? cost_op_opal(core, device, op)
                             : cost_op_baseline(device, op);
-    const auto bytes = op_bytes(device, model, op, seq_len);
+    const auto bytes = op_bytes(device, model, op);
     const double compute_s =
         cost.compute_s / static_cast<double>(device.n_cores);
     const double dram_s = device.dram.transfer_seconds(
@@ -256,8 +256,7 @@ std::vector<OpTraceEntry> trace_token(const DeviceConfig& device,
 namespace {
 
 TokenReport simulate_ops(const DeviceConfig& device, const ModelConfig& model,
-                         const std::vector<TokenOp>& ops,
-                         std::size_t seq_len);
+                         const std::vector<TokenOp>& ops);
 
 }  // namespace
 
@@ -266,8 +265,7 @@ TokenReport simulate_token(const DeviceConfig& device,
   return simulate_ops(device, model,
                       token_ops(model, seq_len, device.weight_bits,
                                 device.act, device.log2_softmax,
-                                device.quantize_acts),
-                      seq_len);
+                                device.quantize_acts));
 }
 
 TokenReport simulate_prefill(const DeviceConfig& device,
@@ -276,15 +274,13 @@ TokenReport simulate_prefill(const DeviceConfig& device,
   return simulate_ops(device, model,
                       prefill_ops(model, prompt_len, device.weight_bits,
                                   device.act, device.log2_softmax,
-                                  device.quantize_acts),
-                      prompt_len);
+                                  device.quantize_acts));
 }
 
 namespace {
 
 TokenReport simulate_ops(const DeviceConfig& device, const ModelConfig& model,
-                         const std::vector<TokenOp>& ops,
-                         std::size_t seq_len) {
+                         const std::vector<TokenOp>& ops) {
   TokenReport report;
   report.device = device.name;
   report.total_macs = total_macs(ops);
@@ -304,7 +300,7 @@ TokenReport simulate_ops(const DeviceConfig& device, const ModelConfig& model,
     const OpCost cost = device.kind == DeviceKind::kOpal
                             ? cost_op_opal(core, device, op)
                             : cost_op_baseline(device, op);
-    const auto bytes = op_bytes(device, model, op, seq_len);
+    const auto bytes = op_bytes(device, model, op);
     const double dram_s = device.dram.transfer_seconds(
         static_cast<std::size_t>(bytes.dram));
     // Cores tile the output rows of each op; DRAM streaming is shared.
@@ -363,6 +359,114 @@ TokenReport simulate_generation(const DeviceConfig& device,
   avg.total_macs /= n_tokens;
   avg.int_mac_fraction /= n;
   return avg;
+}
+
+StepReport simulate_step(const DeviceConfig& device, const ModelConfig& model,
+                         const StepComposition& step) {
+  StepReport report;
+  report.totals.device = device.name;
+  report.seqs.reserve(step.seqs.size());
+  for (const SeqPass& s : step.seqs) {
+    SeqStepCost c;
+    c.request = s.request;
+    c.rows = s.rows;
+    c.start_len = s.start_len;
+    report.seqs.push_back(c);
+  }
+  const std::size_t total_rows = step.total_rows();
+  if (total_rows == 0) return report;
+
+  const auto ops =
+      step_ops(model, step, device.weight_bits, device.act,
+               device.log2_softmax, device.quantize_acts);
+  report.totals.total_macs = total_macs(ops);
+
+  const OpalCore core(device.core, device.tech);
+  const SramModel weight_buffer(device.weight_buffer_bytes(), device.sram);
+  const SramModel act_buffer(device.act_buffer_bytes(), device.sram);
+  const SramModel softmax_buffer(2 * 1024, device.sram);
+
+  // Same accumulation order as simulate_ops, so a single rows == 1 pass
+  // reproduces simulate_token bitwise. Attribution runs on separate
+  // accumulators and never feeds back into the totals.
+  double latency = 0.0;
+  double dram_energy = 0.0;
+  double weight_buf_dyn = 0.0;
+  double act_buf_dyn = 0.0;
+  double dram_bound_latency = 0.0;
+  std::size_t int_macs = 0, fp_macs = 0;
+
+  for (const auto& op : ops) {
+    const OpCost cost = device.kind == DeviceKind::kOpal
+                            ? cost_op_opal(core, device, op)
+                            : cost_op_baseline(device, op);
+    const auto bytes = op_bytes(device, model, op);
+    const double dram_s = device.dram.transfer_seconds(
+        static_cast<std::size_t>(bytes.dram));
+    const double compute_s =
+        cost.compute_s / static_cast<double>(device.n_cores);
+    const double op_latency = std::max(compute_s, dram_s);
+    latency += op_latency;
+    const double op_dram_j = device.dram.transfer_energy_j(
+        static_cast<std::size_t>(bytes.dram));
+    const double op_wbuf_j = weight_buffer.read_energy_j(
+        static_cast<std::size_t>(bytes.weight_buffer));
+    const double op_abuf_j = act_buffer.read_energy_j(
+        static_cast<std::size_t>(bytes.act_buffer));
+    dram_energy += op_dram_j;
+    weight_buf_dyn += op_wbuf_j;
+    act_buf_dyn += op_abuf_j;
+    report.totals.core_energy_j += cost.core_energy_j;
+    int_macs += cost.int_macs;
+    fp_macs += cost.fp_macs;
+
+    report.dram_bytes += bytes.dram;
+    report.compute_s += compute_s;
+    report.dram_s += dram_s;
+    if (dram_s >= compute_s) dram_bound_latency += op_latency;
+
+    // Attribution: sequence-owned attention ops in full; batch-shared ops
+    // (weights, quantize) by fed-rows share.
+    const double op_energy =
+        cost.core_energy_j + op_dram_j + op_wbuf_j + op_abuf_j;
+    if (op.owner != TokenOp::kShared) {
+      SeqStepCost& c = report.seqs[op.owner];
+      c.latency_s += op_latency;
+      c.energy_j += op_energy;
+      c.dram_bytes += bytes.dram;
+    } else {
+      for (SeqStepCost& c : report.seqs) {
+        const double share = static_cast<double>(c.rows) /
+                             static_cast<double>(total_rows);
+        c.latency_s += op_latency * share;
+        c.energy_j += op_energy * share;
+        c.dram_bytes += bytes.dram * share;
+      }
+    }
+  }
+
+  report.totals.latency_s = latency;
+  report.totals.mem_access_j = dram_energy + weight_buf_dyn + act_buf_dyn;
+  report.totals.weight_leak_j = weight_buffer.leakage_energy_j(latency);
+  report.totals.act_leak_j = act_buffer.leakage_energy_j(latency) +
+                             softmax_buffer.leakage_energy_j(latency);
+  report.totals.int_mac_fraction =
+      int_macs + fp_macs == 0
+          ? 0.0
+          : static_cast<double>(int_macs) /
+                static_cast<double>(int_macs + fp_macs);
+  report.dram_bound = latency > 0.0 && 2.0 * dram_bound_latency >= latency;
+
+  // Leakage scales with wall time the step holds the buffers: split it by
+  // each sequence's latency share.
+  const double leak_j =
+      report.totals.weight_leak_j + report.totals.act_leak_j;
+  if (latency > 0.0) {
+    for (SeqStepCost& c : report.seqs) {
+      c.energy_j += leak_j * (c.latency_s / latency);
+    }
+  }
+  return report;
 }
 
 }  // namespace opal

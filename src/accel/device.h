@@ -129,4 +129,39 @@ struct OpTraceEntry {
                                               std::size_t prompt_len,
                                               std::size_t n_tokens);
 
+/// One sequence's share of a batched step (see simulate_step). Attention
+/// ops owned by the sequence are attributed in full; batch-shared work
+/// (weight streaming, quantize) splits by fed-rows share; buffer leakage
+/// splits by latency share. Shares sum to the step totals up to
+/// floating-point rounding.
+struct SeqStepCost {
+  std::uint64_t request = 0;
+  std::size_t rows = 0;       // positions this sequence fed
+  std::size_t start_len = 0;  // KV length before the pass
+  double latency_s = 0.0;
+  double energy_j = 0.0;      // all components, leakage included
+  double dram_bytes = 0.0;
+};
+
+/// Device cost of one batched engine step (workload from step_ops).
+struct StepReport {
+  TokenReport totals;         // whole-step latency + energy decomposition
+  double dram_bytes = 0.0;    // total DRAM traffic (weights + KV streams)
+  double compute_s = 0.0;     // per-op compute times, summed
+  double dram_s = 0.0;        // per-op DRAM streaming times, summed
+  /// True when the step spends the majority of its latency in ops whose
+  /// DRAM streaming time exceeds their compute time.
+  bool dram_bound = false;
+  std::vector<SeqStepCost> seqs;  // one entry per StepComposition pass
+};
+
+/// Simulates one batched engine step: a mix of prefill chunks, decodes and
+/// spec-verify bursts, each at its own KV length, sharing one weight
+/// stream. A single rows == 1 pass reproduces
+/// simulate_token(start_len + 1) bitwise — same op list, same accumulation
+/// order.
+[[nodiscard]] StepReport simulate_step(const DeviceConfig& device,
+                                       const ModelConfig& model,
+                                       const StepComposition& step);
+
 }  // namespace opal

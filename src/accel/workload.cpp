@@ -25,16 +25,18 @@ std::vector<TokenOp> token_ops(const ModelConfig& model, std::size_t seq_len,
     quantize(p + "quant.qkv", 3 * d);
 
     // Q.K^T over all heads: seq_len outputs of d_model reduction total.
+    // kv_len sizes the K/V DRAM stream the op reads through.
     ops.push_back(
-        {p + "qk", OpKind::kKvMxv, seq_len, d, act.high, act.high});
+        {p + "qk", OpKind::kKvMxv, seq_len, d, act.high, act.high, 1,
+         seq_len});
     ops.push_back({p + "softmax", OpKind::kSoftmax, model.n_heads, seq_len,
                    0, 0});
     if (log2_softmax) {
-      ops.push_back(
-          {p + "av", OpKind::kShiftAccAv, d, seq_len, act.high, act.high});
+      ops.push_back({p + "av", OpKind::kShiftAccAv, d, seq_len, act.high,
+                     act.high, 1, seq_len});
     } else {
-      ops.push_back(
-          {p + "av", OpKind::kKvMxv, d, seq_len, act.high, act.high});
+      ops.push_back({p + "av", OpKind::kKvMxv, d, seq_len, act.high,
+                     act.high, 1, seq_len});
     }
     quantize(p + "quant.z", d);
     ops.push_back(
@@ -79,6 +81,79 @@ std::vector<TokenOp> prefill_ops(const ModelConfig& model,
         break;
     }
   }
+  return ops;
+}
+
+std::vector<TokenOp> step_ops(const ModelConfig& model,
+                              const StepComposition& step, int weight_bits,
+                              ActBits act, bool log2_softmax,
+                              bool quantize_acts) {
+  std::vector<TokenOp> ops;
+  const std::size_t d = model.d_model;
+  const std::size_t f = model.d_ffn;
+  const std::size_t total = step.total_rows();
+  if (total == 0) return ops;
+
+  auto quantize = [&](const std::string& name, std::size_t len) {
+    if (quantize_acts) {
+      ops.push_back({name, OpKind::kQuantize, 1, len, 0, 0, total});
+    }
+  };
+  // Per-sequence causal attention of a pass of n rows at start KV length s:
+  // row r (0-based) attends to s + r + 1 keys, so the pass touches
+  // T = n·s + n(n+1)/2 keys in total against a stream of s + n positions.
+  auto attention = [&](const std::string& p) {
+    for (std::size_t i = 0; i < step.seqs.size(); ++i) {
+      const SeqPass& s = step.seqs[i];
+      if (s.rows == 0) continue;
+      const std::size_t kv_end = s.start_len + s.rows;
+      const std::size_t visits =
+          s.rows * s.start_len + s.rows * (s.rows + 1) / 2;
+      const std::string sp = p + "s" + std::to_string(i) + ".";
+      ops.push_back({sp + "qk", OpKind::kKvMxv, visits, d, act.high,
+                     act.high, 1, kv_end, i});
+      ops.push_back({sp + "softmax", OpKind::kSoftmax, model.n_heads,
+                     visits, 0, 0, 1, 0, i});
+      if (log2_softmax) {
+        ops.push_back({sp + "av", OpKind::kShiftAccAv, d, visits, act.high,
+                       act.high, 1, kv_end, i});
+      } else {
+        ops.push_back({sp + "av", OpKind::kKvMxv, d, visits, act.high,
+                       act.high, 1, kv_end, i});
+      }
+    }
+  };
+
+  for (std::size_t l = 0; l < model.n_layers; ++l) {
+    const std::string p = "layer" + std::to_string(l) + ".";
+    // Shared across the batch: each weight matrix streams from DRAM once
+    // and serves every fed row of every sequence (the continuous-batching
+    // amortization a per-token simulation cannot see).
+    quantize(p + "quant.attn_in", d);
+    ops.push_back(
+        {p + "wq", OpKind::kWeightMxv, d, d, weight_bits, act.low, total});
+    ops.push_back(
+        {p + "wk", OpKind::kWeightMxv, d, d, weight_bits, act.low, total});
+    ops.push_back(
+        {p + "wv", OpKind::kWeightMxv, d, d, weight_bits, act.low, total});
+    quantize(p + "quant.qkv", 3 * d);
+
+    attention(p);
+
+    quantize(p + "quant.z", d);
+    ops.push_back(
+        {p + "wo", OpKind::kWeightMxv, d, d, weight_bits, act.high, total});
+
+    quantize(p + "quant.ffn_in", d);
+    ops.push_back(
+        {p + "fc1", OpKind::kWeightMxv, f, d, weight_bits, act.low, total});
+    quantize(p + "quant.hidden", f);
+    ops.push_back(
+        {p + "fc2", OpKind::kWeightMxv, d, f, weight_bits, act.high, total});
+  }
+  // Logits for every fed row, matching prefill_ops' accounting.
+  ops.push_back({"lm_head", OpKind::kWeightMxv, model.vocab, d, weight_bits,
+                 act.high, total});
   return ops;
 }
 

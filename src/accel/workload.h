@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,10 @@ enum class OpKind : std::uint8_t {
 };
 
 struct TokenOp {
+  /// Shared op: not attributable to a single sequence of a StepComposition
+  /// (weight / softmax / quantize work batched across the whole step).
+  static constexpr std::size_t kShared = static_cast<std::size_t>(-1);
+
   std::string name;
   OpKind kind = OpKind::kWeightMxv;
   std::size_t rows = 0;  // outputs (per head already aggregated)
@@ -34,6 +39,14 @@ struct TokenOp {
   /// Tokens processed together (1 for decode; prompt length for prefill,
   /// where the same streamed weights serve every prompt position).
   std::size_t batch = 1;
+  /// KV length this op's K/V stream covers (kKvMxv / kShiftAccAv only, 0
+  /// otherwise): sizes the block-granular DRAM/buffer traffic per op, so a
+  /// batched step can mix sequences at different cache depths.
+  std::size_t kv_len = 0;
+  /// Index into the producing StepComposition's seqs for per-sequence ops;
+  /// kShared for ops amortized across the batch. Single-stream builders
+  /// (token_ops / prefill_ops) leave it kShared.
+  std::size_t owner = kShared;
 };
 
 /// Activation precision scheme of a device (16 = BF16 baseline).
@@ -62,6 +75,43 @@ struct ActBits {
                                                int weight_bits, ActBits act,
                                                bool log2_softmax,
                                                bool quantize_acts);
+
+/// One sequence's model pass within a batched engine step: `rows` new
+/// positions fed at KV length `start_len` (a decode is rows == 1, a prefill
+/// chunk or speculative verify burst is rows > 1).
+struct SeqPass {
+  std::uint64_t request = 0;  // serving RequestId, carried into attribution
+  std::size_t start_len = 0;  // KV length before the pass
+  std::size_t rows = 0;       // positions fed this step
+};
+
+/// The mixed batch one continuous-batching engine step feeds through the
+/// model: any combination of prefill chunks, single decodes, and spec-verify
+/// bursts, each at its own KV depth. Weight streaming is shared across all
+/// of them — the amortization simulate_step models and per-token simulation
+/// cannot see.
+struct StepComposition {
+  std::vector<SeqPass> seqs;
+
+  [[nodiscard]] std::size_t total_rows() const {
+    std::size_t n = 0;
+    for (const SeqPass& s : seqs) n += s.rows;
+    return n;
+  }
+};
+
+/// Builds the op list for one batched engine step. Per layer: the weight /
+/// quantize ops run once at batch = total_rows (weights streamed from DRAM
+/// once for the whole batch); per sequence, the attention ops cover the
+/// exact causal work of its pass — rows·start + rows·(rows+1)/2 key visits
+/// against a KV stream of start + rows positions — and carry `owner` so the
+/// device model can attribute them. With a single rows == 1 pass the list
+/// degenerates to token_ops(start_len + 1) op for op (same costs, bitwise).
+[[nodiscard]] std::vector<TokenOp> step_ops(const ModelConfig& model,
+                                            const StepComposition& step,
+                                            int weight_bits, ActBits act,
+                                            bool log2_softmax,
+                                            bool quantize_acts);
 
 /// Total MACs across the MxV ops of a workload (batch-weighted).
 [[nodiscard]] std::size_t total_macs(const std::vector<TokenOp>& ops);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdio>
 #include <sstream>
 
 #include "common/tensor.h"
@@ -115,6 +116,8 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
     v.p50 = h.quantile(0.50);
     v.p95 = h.quantile(0.95);
     v.p99 = h.quantile(0.99);
+    v.bounds.assign(h.bounds().begin(), h.bounds().end());
+    v.buckets.assign(h.buckets().begin(), h.buckets().end());
     s.histograms.push_back(std::move(v));
   }
   return s;
@@ -169,6 +172,68 @@ std::string MetricsRegistry::Snapshot::to_json() const {
   }
   out << (histograms.empty() ? "" : "\n  ") << "}\n}\n";
   return out.str();
+}
+
+namespace {
+
+// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; the registry's
+// dotted names ("serving.ttft_ms") map onto it by replacing every invalid
+// character with '_'.
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    out.push_back(alpha || (digit && i > 0) ? c : '_');
+  }
+  return out.empty() ? "_" : out;
+}
+
+void append_number(std::string& out, double v, const char* format) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, format, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::Snapshot::to_prometheus() const {
+  std::string out;
+  for (const CounterValue& c : counters) {
+    const std::string name = prometheus_name(c.name) + "_total";
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const GaugeValue& g : gauges) {
+    const std::string name = prometheus_name(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " ";
+    append_number(out, g.value, "%.17g");
+    out += "\n";
+  }
+  for (const HistogramValue& h : histograms) {
+    const std::string name = prometheus_name(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    // Prometheus buckets are CUMULATIVE: each le bound counts every
+    // observation <= it, and le="+Inf" equals the total count.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += i < h.buckets.size() ? h.buckets[i] : 0;
+      out += name + "_bucket{le=\"";
+      append_number(out, h.bounds[i], "%g");
+      out += "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += name + "_sum ";
+    append_number(out, h.sum, "%.17g");
+    out += "\n";
+    out += name + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
 }
 
 }  // namespace opal

@@ -131,6 +131,10 @@ class MetricsRegistry {
     double p50 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
+    /// Bucket upper bounds and per-bucket counts (bounds.size() + 1
+    /// entries, last = overflow) — what to_prometheus renders cumulatively.
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;
     [[nodiscard]] double mean() const {
       return count == 0 ? 0.0 : sum / static_cast<double>(count);
     }
@@ -159,6 +163,14 @@ class MetricsRegistry {
     /// {count, sum, min, max, mean, p50, p95, p99}}} — the machine-readable
     /// form the SLO bench persists.
     [[nodiscard]] std::string to_json() const;
+
+    /// Prometheus text exposition format (version 0.0.4): counters as
+    /// `<name>_total`, gauges verbatim, histograms in the cumulative form —
+    /// `<name>_bucket{le="<bound>"}` per bound plus le="+Inf", then
+    /// `<name>_sum` / `<name>_count`. Metric names are sanitized to the
+    /// Prometheus charset (dots and other invalid characters become '_').
+    /// Each family carries a # TYPE line.
+    [[nodiscard]] std::string to_prometheus() const;
   };
   [[nodiscard]] Snapshot snapshot() const;
 

@@ -39,9 +39,19 @@ bool Tracer::env_enabled() {
   return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
 }
 
+std::size_t Tracer::env_capacity(std::size_t fallback) {
+  const char* v = std::getenv("OPAL_TRACE_CAPACITY");
+  if (v == nullptr || v[0] == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0' || parsed == 0) return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
 Tracer::Tracer(bool enabled, std::size_t capacity)
     : enabled_(enabled || env_enabled()),
       epoch_(std::chrono::steady_clock::now()) {
+  capacity = env_capacity(capacity);
   if (enabled_) ring_.reserve(capacity == 0 ? 1 : capacity);
 }
 
@@ -58,6 +68,10 @@ void Tracer::emit(TraceEvent event) {
   if (ring_.size() < ring_.capacity()) {
     ring_.push_back(event);
   } else {
+    // Oldest-first overwrite loses an event to the exports: account for it
+    // so write_step_trace's header can flag an incomplete trace.
+    ++truncated_;
+    if (ring_[head_].kind == TraceEventKind::kStep) ++dropped_steps_;
     ring_[head_] = event;
     head_ = (head_ + 1) % ring_.size();
   }
@@ -69,6 +83,8 @@ std::size_t Tracer::size() const { return ring_.size(); }
 void Tracer::clear() {
   ring_.clear();
   head_ = 0;
+  truncated_ = 0;
+  dropped_steps_ = 0;
 }
 
 std::vector<TraceEvent> Tracer::events() const {
@@ -105,7 +121,21 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
 
 void Tracer::write_step_trace(std::ostream& out) const {
   const std::vector<TraceEvent> all = events();
-  out << "{\"schema\": \"opal.step_trace/v1\", \"steps\": [";
+  // Self-describing header (schema table in trace.h): the producing model's
+  // dims + KV layout, and the ring-loss counters a replay checks to detect
+  // an incomplete trace.
+  out << "{\"schema\": \"opal.step_trace/v2\",\n"
+      << " \"model\": {\"n_layers\": " << info_.n_layers
+      << ", \"d_model\": " << info_.d_model
+      << ", \"n_heads\": " << info_.n_heads
+      << ", \"d_ffn\": " << info_.d_ffn << ", \"vocab\": " << info_.vocab
+      << "},\n"
+      << " \"kv\": {\"mode\": \"" << info_.kv_mode
+      << "\", \"block_size\": " << info_.kv_block_size
+      << ", \"bits_per_entry\": " << info_.kv_bits_per_entry << "},\n"
+      << " \"dropped_steps\": " << dropped_steps_
+      << ", \"truncated_events\": " << truncated_ << ",\n"
+      << " \"steps\": [";
   // Per-sequence events of a step precede its kStep record in emission
   // order, so a single forward scan groups them.
   std::vector<const TraceEvent*> pending;
@@ -115,6 +145,7 @@ void Tracer::write_step_trace(std::ostream& out) const {
       case TraceEventKind::kChunk:
       case TraceEventKind::kDecode:
       case TraceEventKind::kSpecBurst:
+      case TraceEventKind::kPrefixHit:
         pending.push_back(&e);
         break;
       case TraceEventKind::kStep: {
@@ -129,9 +160,13 @@ void Tracer::write_step_trace(std::ostream& out) const {
           if (s->step != e.step) continue;  // orphan from an evicted step
           if (!seq_first) out << ", ";
           seq_first = false;
+          // kPrefixHit carries (positions restored, columns) in (a, b) —
+          // normalize it to the seqs schema: rows = restores, pos 0.
+          const bool hit = s->kind == TraceEventKind::kPrefixHit;
           out << "{\"request\": " << s->request << ", \"kind\": \""
-              << to_string(s->kind) << "\", \"pos\": " << s->b
-              << ", \"rows\": " << s->a << ", \"kv_bytes\": " << s->c
+              << to_string(s->kind) << "\", \"pos\": " << (hit ? 0 : s->b)
+              << ", \"rows\": " << s->a
+              << ", \"kv_bytes\": " << (hit ? 0 : s->c)
               << ", \"dur_us\": " << s->dur_us;
           if (s->kind == TraceEventKind::kSpecBurst) {
             out << ", \"committed\": " << s->d;

@@ -2,7 +2,7 @@
 // buffer of POD events, near-zero cost when disabled (one predictable
 // branch per would-be event), exportable as Chrome trace_event JSON
 // (about://tracing / ui.perfetto.dev) and as a replayable step-trace JSON
-// the accelerator-model replay can consume.
+// the accelerator-model replay (accel/replay.h) consumes.
 //
 // Event taxonomy (what ServingEngine emits; see the Observability block in
 // llm/serving_engine.h for exactly when each fires):
@@ -34,7 +34,41 @@
 //
 // Enabling: construct with enabled = true (ServingConfig::trace), or set
 // the OPAL_TRACE environment variable (non-empty, not "0") to force-enable
-// every tracer constructed afterwards.
+// every tracer constructed afterwards. OPAL_TRACE_CAPACITY (a positive
+// integer) overrides the ring capacity of every tracer constructed
+// afterwards, so a long SLO run can be sized to lose nothing.
+//
+// Step-trace schema (opal.step_trace/v2) — what write_step_trace emits:
+//
+//   field                       meaning
+//   schema                      "opal.step_trace/v2"
+//   model.{n_layers,d_model,    ModelConfig dims of the producing engine
+//          n_heads,d_ffn,vocab} (all 0 when no StepTraceInfo was set)
+//   kv.{mode,block_size,        serving KV layout: kv_mode name, positions
+//       bits_per_entry}         per block, stored bits per KV entry
+//   dropped_steps               kStep records overwritten in the ring —
+//                               nonzero means the trace is INCOMPLETE
+//   truncated_events            total events overwritten in the ring
+//   steps[]                     one record per surviving kStep event:
+//     step / dur_us             engine step counter, wall duration
+//     batch / rows              sequences decoded, total rows fed
+//     blocks_in_use/blocks_free pool occupancy after the step
+//     seqs[]                    the step's per-sequence events, in emission
+//                               order:
+//       request / kind          RequestId; chunk | decode | spec_burst |
+//                               prefix_hit
+//       pos                     start position (KV length before the pass);
+//                               0 for prefix_hit
+//       rows                    rows fed this pass; for prefix_hit, the
+//                               positions restored from the cache (decodes
+//                               SKIPPED, not executed)
+//       kv_bytes                KV bytes written by the pass (0: prefix_hit)
+//       dur_us                  model-pass wall duration (0: prefix_hit)
+//       committed               spec_burst only: rows that survived verify
+//
+// A v2 trace with nonzero model dims is self-describing: accel/replay.h
+// parses it back and replays it through the device model without the
+// producing process.
 #pragma once
 
 #include <chrono>
@@ -74,6 +108,22 @@ struct TraceEvent {
   std::uint64_t a = 0, b = 0, c = 0, d = 0;  // kind-specific (header table)
 };
 
+/// Self-description the producing engine attaches to its tracer so a
+/// step-trace file is replayable without the producing process: the served
+/// model's dims (enough to rebuild a ModelConfig) and the serving KV
+/// layout. All-zero dims mean "not set" (write_step_trace still emits the
+/// header; accel/replay refuses to replay it).
+struct StepTraceInfo {
+  std::size_t n_layers = 0;
+  std::size_t d_model = 0;
+  std::size_t n_heads = 0;
+  std::size_t d_ffn = 0;
+  std::size_t vocab = 0;
+  std::string kv_mode;             // to_string(KvQuantMode)
+  std::size_t kv_block_size = 0;   // positions per KV block
+  std::size_t kv_bits_per_entry = 0;
+};
+
 class Tracer {
  public:
   /// `enabled || env_enabled()` activates the tracer; capacity is the ring
@@ -85,12 +135,26 @@ class Tracer {
   /// True when OPAL_TRACE is set, non-empty, and not "0".
   [[nodiscard]] static bool env_enabled();
 
+  /// OPAL_TRACE_CAPACITY as a positive event count, or `fallback` when the
+  /// variable is unset/empty/unparsable.
+  [[nodiscard]] static std::size_t env_capacity(std::size_t fallback);
+
   /// Stores `event` (stamping ts_us if the caller left it 0). No-op when
   /// disabled.
   void emit(TraceEvent event);
 
+  /// Attaches the producing engine's self-description, emitted in the
+  /// step-trace header (see StepTraceInfo).
+  void set_step_info(StepTraceInfo info) { info_ = std::move(info); }
+  [[nodiscard]] const StepTraceInfo& step_info() const { return info_; }
+
   /// Events ever emitted (including overwritten ones).
   [[nodiscard]] std::uint64_t total_emitted() const { return total_; }
+  /// Events overwritten in the ring (lost to the exports).
+  [[nodiscard]] std::uint64_t truncated_events() const { return truncated_; }
+  /// kStep records overwritten in the ring: nonzero means write_step_trace
+  /// emits an INCOMPLETE trace (replays must check the header).
+  [[nodiscard]] std::uint64_t dropped_steps() const { return dropped_steps_; }
   /// Events currently held (<= capacity).
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const { return ring_.capacity(); }
@@ -108,13 +172,16 @@ class Tracer {
   /// Loads in about://tracing and ui.perfetto.dev.
   void write_chrome_trace(std::ostream& out) const;
 
-  /// Replayable step-trace JSON: one record per kStep event holding the
-  /// step's wall duration, batch composition, and the per-sequence
-  /// kChunk/kDecode/kSpecBurst events of that step (request, start
-  /// position, rows, KV bytes touched, verify commits). Steps whose
-  /// per-sequence events were already overwritten in the ring are emitted
-  /// with the events that survive; steps whose kStep record itself was
-  /// overwritten are dropped.
+  /// Replayable step-trace JSON (opal.step_trace/v2 — schema table in the
+  /// header comment): a self-describing header (StepTraceInfo dims, KV
+  /// layout, dropped_steps / truncated_events ring-loss counts) followed by
+  /// one record per kStep event holding the step's wall duration, batch
+  /// composition, and the per-sequence kChunk/kDecode/kSpecBurst/kPrefixHit
+  /// events of that step (request, start position, rows, KV bytes touched,
+  /// verify commits, cache restores). Steps whose per-sequence events were
+  /// already overwritten in the ring are emitted with the events that
+  /// survive; steps whose kStep record itself was overwritten are dropped —
+  /// and counted in the header so replays can detect an incomplete trace.
   void write_step_trace(std::ostream& out) const;
 
  private:
@@ -122,6 +189,9 @@ class Tracer {
   std::vector<TraceEvent> ring_;
   std::size_t head_ = 0;      // next write slot once the ring is full
   std::uint64_t total_ = 0;   // lifetime emit count
+  std::uint64_t truncated_ = 0;      // events overwritten
+  std::uint64_t dropped_steps_ = 0;  // kStep records overwritten
+  StepTraceInfo info_;
   std::chrono::steady_clock::time_point epoch_;
 };
 

@@ -71,7 +71,14 @@ ServingEngine::ServingEngine(std::shared_ptr<const PreparedModel> model,
   // engine's series once and cache the handles; bind every composed
   // subsystem into the same registry. None of it is ever read back by a
   // control path.
-  trace_ = Tracer(config_.trace, config_.trace_events);
+  trace_ = Tracer(config_.trace, config_.trace_capacity);
+  // Self-description for the step-trace header: enough to rebuild the
+  // model + KV layout, making the exported trace replayable offline
+  // (accel/replay.h) without this process.
+  trace_.set_step_info({mcfg.n_layers, mcfg.d_model, mcfg.n_heads,
+                        mcfg.d_ffn, mcfg.vocab, to_string(ecfg.kv_mode),
+                        ecfg.kv_block_size,
+                        kv_bits_per_entry(ecfg.kv_mode)});
   em_.steps = &registry_.counter("serving.steps");
   em_.stalls = &registry_.counter("serving.stalls");
   em_.admissions = &registry_.counter("serving.admissions");

@@ -281,8 +281,12 @@ struct ServingConfig {
   /// (non-empty, not "0") force-enables tracing regardless of this flag.
   /// Tracing never feeds control flow — traced runs are bitwise identical.
   bool trace = false;
-  /// Trace ring capacity in events (oldest overwritten first).
-  std::size_t trace_events = 1 << 16;
+  /// Trace ring capacity in events (oldest overwritten first; overwrites
+  /// are counted in the step-trace header as dropped_steps /
+  /// truncated_events). The OPAL_TRACE_CAPACITY environment variable (a
+  /// positive integer) overrides this, so a long SLO run can be sized to
+  /// lose nothing without recompiling.
+  std::size_t trace_capacity = 1 << 16;
 };
 
 class ServingEngine {

@@ -239,12 +239,79 @@ TEST(Trace, StepTraceGroupsSequenceEventsUnderTheirStep) {
   std::ostringstream out;
   t.write_step_trace(out);
   const std::string json = out.str();
-  EXPECT_NE(json.find("\"opal.step_trace/v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"opal.step_trace/v2\""), std::string::npos);
   EXPECT_NE(json.find("\"step\": 4"), std::string::npos);
   EXPECT_NE(json.find("\"chunk\""), std::string::npos);
   EXPECT_NE(json.find("\"spec_burst\""), std::string::npos);
   EXPECT_NE(json.find("\"committed\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"blocks_free\": 3"), std::string::npos);
+}
+
+TEST(Trace, StepTraceHeaderCarriesInfoAndDropCounts) {
+  Tracer t(true, 2);
+  t.set_step_info({3, 128, 4, 344, 256, "int8", 16, 8});
+  EXPECT_EQ(t.step_info().d_model, 128u);
+  // Fill the 2-slot ring, then overwrite both slots: the overwritten kStep
+  // counts as a dropped step, the other event as plain truncation.
+  t.emit({.kind = TraceEventKind::kStep, .step = 1});
+  t.emit({.kind = TraceEventKind::kDecode, .step = 2, .request = 1, .a = 1});
+  t.emit({.kind = TraceEventKind::kStep, .step = 2, .a = 1, .b = 1});
+  t.emit({.kind = TraceEventKind::kStep, .step = 3, .a = 1, .b = 1});
+  EXPECT_EQ(t.truncated_events(), 2u);
+  EXPECT_EQ(t.dropped_steps(), 1u);
+  std::ostringstream out;
+  t.write_step_trace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"opal.step_trace/v2\""), std::string::npos);
+  EXPECT_NE(json.find("\"d_model\": 128"), std::string::npos);
+  EXPECT_NE(json.find("\"mode\": \"int8\""), std::string::npos);
+  EXPECT_NE(json.find("\"bits_per_entry\": 8"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_steps\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"truncated_events\": 2"), std::string::npos);
+  t.clear();
+  EXPECT_EQ(t.truncated_events(), 0u);
+  EXPECT_EQ(t.dropped_steps(), 0u);
+}
+
+TEST(Trace, EnvVarOverridesRingCapacity) {
+  ASSERT_EQ(std::getenv("OPAL_TRACE_CAPACITY"), nullptr);
+  EXPECT_EQ(Tracer::env_capacity(64), 64u);
+  setenv("OPAL_TRACE_CAPACITY", "8", 1);
+  EXPECT_EQ(Tracer::env_capacity(64), 8u);
+  Tracer t(true, 64);
+  EXPECT_EQ(t.capacity(), 8u);
+  // Unparsable / non-positive values fall back.
+  setenv("OPAL_TRACE_CAPACITY", "banana", 1);
+  EXPECT_EQ(Tracer::env_capacity(64), 64u);
+  setenv("OPAL_TRACE_CAPACITY", "0", 1);
+  EXPECT_EQ(Tracer::env_capacity(64), 64u);
+  unsetenv("OPAL_TRACE_CAPACITY");
+  EXPECT_EQ(Tracer::env_capacity(64), 64u);
+}
+
+TEST(Registry, PrometheusExposition) {
+  MetricsRegistry reg;
+  reg.counter("serving.steps").add(7);
+  reg.gauge("serving.running").set(3.0);
+  Histogram& h = reg.histogram("lat_ms", std::vector<double>{1.0, 10.0});
+  h.observe(0.5);
+  h.observe(0.7);
+  h.observe(5.0);
+  h.observe(500.0);  // overflow
+  const std::string text = reg.snapshot().to_prometheus();
+  // Names are sanitized to the Prometheus charset; counters get _total.
+  EXPECT_NE(text.find("# TYPE serving_steps_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("serving_steps_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE serving_running gauge"), std::string::npos);
+  EXPECT_NE(text.find("serving_running 3"), std::string::npos);
+  // Histogram buckets are cumulative, closed by le="+Inf" == count.
+  EXPECT_NE(text.find("# TYPE lat_ms histogram"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"1\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"10\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"+Inf\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_count 4"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_sum 506."), std::string::npos);
 }
 
 TEST(Trace, ToStringCoversEveryKind) {
