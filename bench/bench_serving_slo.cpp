@@ -26,8 +26,13 @@
 // Hardware-in-the-loop section: every scenario x policy run is traced
 // (opal.step_trace/v2) and replayed through the accelerator device model
 // (accel/replay.h) on the BF16, OWQ-W4, and OPAL devices, attributing
-// energy per token, device latency, and DRAM traffic to each policy — and
-// persisted to BENCH_hw_replay.json (argv[2] overrides the path).
+// energy per token, device latency, DRAM traffic, core area, and TOPS/W to
+// each policy — and persisted to BENCH_hw_replay.json (argv[2] overrides
+// the path). A fourth, repetitive scenario serves under n-gram speculative
+// decoding and replays its trace so the per-device spec_saved_j
+// attribution is exercised on bench traffic. A final profiled re-run
+// (ServingConfig::profile) checks the kernel/phase profiler observes
+// without steering.
 //
 // Asserted (exit 1): outputs bitwise identical across policies per
 // scenario; histogram counts are exact (one TTFT sample per request, one
@@ -47,7 +52,9 @@
 #include <vector>
 
 #include "accel/replay.h"
+#include "common/kernel_profiler.h"
 #include "eval/schemes.h"
+#include "llm/drafter.h"
 #include "llm/scheduler.h"
 #include "llm/serving_engine.h"
 
@@ -150,6 +157,26 @@ Scenario short_prompt_long_answer() {
   return s;
 }
 
+/// Repetitive generation-shaped workload for the speculative section: each
+/// prompt cycles one 8-token motif, so the prompt-lookup n-gram drafter
+/// always finds a recurrence of the frontier context to propose from —
+/// verify bursts fire on real serving traffic, not just unit tests.
+Scenario repetitive_long_answer() {
+  Scenario s;
+  s.name = "speculative-ngram";
+  s.arrival = "bursty";
+  for (std::size_t r = 0; r < 8; ++r) {
+    Arrival a;
+    a.step = (r / 4) * 4;
+    for (std::size_t i = 0; i < 32; ++i) {
+      a.req.prompt.push_back(((i % 8) * 23 + 5 * r + 3) % 256);  // motif x4
+    }
+    a.req.max_new_tokens = 24;
+    s.arrivals.push_back(std::move(a));
+  }
+  return s;
+}
+
 struct LatencySummary {
   std::uint64_t count = 0;
   double mean = 0.0, max = 0.0, p50 = 0.0, p95 = 0.0, p99 = 0.0;
@@ -180,12 +207,14 @@ struct PolicyRun {
   MetricsRegistry::Snapshot snap;
   StepTrace trace;         // only when traced
   std::string trace_json;  // serialized opal.step_trace/v2, only when traced
+  KernelProfile profile;   // only when profiled
 };
 
 PolicyRun serve(const std::shared_ptr<const PreparedModel>& model,
                 const Scenario& scenario,
                 const std::shared_ptr<Scheduler>& policy, std::string name,
-                bool trace = false) {
+                bool trace = false, SpeculativeConfig speculative = {},
+                bool profile = false) {
   using clock = std::chrono::steady_clock;
   PolicyRun out;
   out.policy = std::move(name);
@@ -196,6 +225,8 @@ PolicyRun serve(const std::shared_ptr<const PreparedModel>& model,
   cfg.enable_prefix_cache = scenario.prefix_cache;
   cfg.scheduler = policy;
   cfg.trace = trace;
+  cfg.speculative = speculative;
+  cfg.profile = profile;
 
   ServingEngine engine(model, cfg);
   std::vector<RequestId> ids;
@@ -231,6 +262,7 @@ PolicyRun serve(const std::shared_ptr<const PreparedModel>& model,
     engine.tracer().write_step_trace(ts);
     out.trace_json = ts.str();
   }
+  if (profile) out.profile = engine.profile();
   return out;
 }
 
@@ -243,7 +275,11 @@ void emit_replay(std::ofstream& json, const ReplayReport& rep,
        << ", \"dram_bytes\": " << rep.dram_bytes
        << ", \"dram_bound_steps\": " << rep.dram_bound_steps
        << ", \"prefix_saved_j\": " << rep.prefix_saved_j
-       << ", \"spec_saved_j\": " << rep.spec_saved_j << "}" << tail << "\n";
+       << ", \"spec_saved_j\": " << rep.spec_saved_j
+       << ", \"core_area_mm2\": " << rep.core_area_mm2
+       << ", \"total_macs\": " << rep.total_macs
+       << ", \"tops_per_watt\": " << rep.tops_per_watt() << "}" << tail
+       << "\n";
 }
 
 void emit_latency(std::ofstream& json, const char* key,
@@ -424,13 +460,100 @@ int main(int argc, char** argv) {
       }
       hw << "     ]}" << (i + 1 < runs.size() ? "," : "") << "\n";
     }
-    hw << "     ]}" << (si + 1 < scenarios.size() ? "," : "") << "\n";
+    hw << "     ]},\n";  // the speculative scenario below closes the array
     std::printf("\n");
   }
   json << "  ]\n}\n";
   json.close();
+
+  // --- speculative scenario: n-gram self-drafting served end to end, then
+  // replayed through the devices so spec_saved_j attribution is exercised
+  // on bench traffic, not just unit fixtures ---
+  {
+    const Scenario sc = repetitive_long_answer();
+    const auto base = serve(prepared, sc, std::make_shared<FifoScheduler>(),
+                            "fifo", /*trace=*/true);
+    SpeculativeConfig spec;
+    spec.policy = DraftPolicy::kNgram;
+    const auto specrun = serve(prepared, sc,
+                               std::make_shared<FifoScheduler>(),
+                               "fifo+ngram", /*trace=*/true, spec);
+    // Verified speculation is lossless: committed tokens are the greedy
+    // continuation, bitwise.
+    if (specrun.tokens != base.tokens) {
+      std::printf("ERROR: n-gram speculation changed request outputs\n");
+      failed = true;
+    }
+    if (specrun.stats.spec_bursts == 0) {
+      std::printf("ERROR: speculative scenario fired no verify bursts\n");
+      failed = true;
+    }
+    std::printf("%s: %zu bursts, %zu/%zu drafts accepted, %.2f tokens/"
+                "burst\n",
+                sc.name.c_str(), specrun.stats.spec_bursts,
+                specrun.stats.spec_accepted, specrun.stats.spec_drafted,
+                specrun.stats.tokens_per_burst());
+    std::printf("  %-12s %10s %14s %14s\n", "hw replay", "device",
+                "energy/tok", "spec saved");
+    hw << "    {\"name\": \"" << sc.name << "\", \"requests\": "
+       << sc.arrivals.size() << ",\n     \"policies\": [\n";
+    std::vector<ReplayReport> reps;
+    for (const DeviceConfig& dev : devices) {
+      reps.push_back(replay_trace(dev, specrun.trace));
+    }
+    hw << "    {\"policy\": \"" << specrun.policy << "\", \"steps\": "
+       << reps[0].n_steps << ", \"rows_fed\": " << reps[0].rows_fed
+       << ", \"tokens_committed\": " << reps[0].tokens_committed
+       << ", \"prefix_rows_restored\": " << reps[0].prefix_rows_restored
+       << ", \"kv_bytes_written\": " << reps[0].kv_bytes_written
+       << ",\n     \"devices\": [\n";
+    for (std::size_t d = 0; d < reps.size(); ++d) {
+      const ReplayReport& rep = reps[d];
+      // The burst passes must surface in the attribution: a verify burst
+      // never costs exactly what its committed tokens would as decodes.
+      if (rep.spec_saved_j == 0.0) {
+        std::printf("ERROR: %s replay attributed no speculative delta\n",
+                    rep.device.c_str());
+        failed = true;
+      }
+      std::printf("  %-12s %10s %11.3e J %12.3e J\n",
+                  d == 0 ? specrun.policy.c_str() : "", rep.device.c_str(),
+                  rep.energy_per_token_j(), rep.spec_saved_j);
+      emit_replay(hw, rep, d + 1 < reps.size() ? "," : "");
+    }
+    hw << "     ]}\n     ]}\n";
+    std::printf("\n");
+  }
   hw << "  ]\n}\n";
   hw.close();
+
+  // --- profiled re-run: the always-on attribution layer must observe
+  // without steering — outputs bitwise identical to the silent run, and the
+  // kernel/phase tallies it reports must be non-empty ---
+  {
+    const auto plain = serve(prepared, scenarios[0],
+                             std::make_shared<FifoScheduler>(), "fifo");
+    const auto profiled = serve(prepared, scenarios[0],
+                                std::make_shared<FifoScheduler>(), "fifo",
+                                /*trace=*/false, SpeculativeConfig{},
+                                /*profile=*/true);
+    if (profiled.tokens != plain.tokens) {
+      std::printf("ERROR: profiling changed request outputs\n");
+      failed = true;
+    }
+    const KernelProfile& prof = profiled.profile;
+    if (prof.total_kernel_calls() == 0 ||
+        prof.phases[static_cast<std::size_t>(LayerPhase::kAttend)].calls ==
+            0) {
+      std::printf("ERROR: profiled run recorded no kernel/phase activity\n");
+      failed = true;
+    }
+    std::printf("profiled re-run (%s): %llu kernel calls, "
+                "%.1f ms attributed\n\n",
+                scenarios[0].name.c_str(),
+                static_cast<unsigned long long>(prof.total_kernel_calls()),
+                static_cast<double>(prof.total_kernel_ns()) * 1e-6);
+  }
 
   // Untraced re-run of the first scenario: the main runs above were traced
   // (the replay section needs the step trace) — observability must not
@@ -449,13 +572,13 @@ int main(int argc, char** argv) {
 
   if (failed) return 1;
   std::printf("PASS: serving SLO bench — outputs bitwise identical across "
-              "policies and under tracing; per-policy TTFT/ITL percentiles "
-              "written to %s\n",
+              "policies and under tracing, speculation, and profiling; "
+              "per-policy TTFT/ITL percentiles written to %s\n",
               path.c_str());
   std::printf("PASS: hw replay — deterministic across serialization, row "
               "accounting conserved, OPAL < BF16 energy/token in every "
-              "scenario under every policy; per-policy attribution written "
-              "to %s\n",
+              "scenario under every policy, speculative savings attributed; "
+              "per-policy attribution written to %s\n",
               hw_path.c_str());
   return 0;
 }

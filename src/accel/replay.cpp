@@ -68,6 +68,7 @@ StepTrace step_trace_from_tracer(const Tracer& tracer) {
         step.step = e.step;
         step.batch = static_cast<std::size_t>(e.a);
         step.rows = static_cast<std::size_t>(e.b);
+        step.dur_us = e.dur_us;
         for (const TraceEvent& s : pending) {
           if (s.step != e.step) continue;  // orphan from an evicted step
           TracePass pass;
@@ -124,6 +125,7 @@ StepTrace parse_step_trace(std::string_view json_text) {
     step.step = s.at("step").as_uint("steps[].step");
     step.batch = s.at("batch").as_uint("steps[].batch");
     step.rows = s.at("rows").as_uint("steps[].rows");
+    step.dur_us = s.at("dur_us").as_uint("steps[].dur_us");
     const JsonValue& seqs = s.at("seqs");
     if (!seqs.is_array()) {
       throw std::invalid_argument("replay: \"seqs\" must be an array");
@@ -157,6 +159,7 @@ ReplayReport replay_trace(const DeviceConfig& device,
   ReplayReport report;
   report.device = dev.name;
   report.dropped_steps = trace.dropped_steps;
+  report.core_area_mm2 = device_core_area_mm2(dev);
   report.steps.reserve(trace.steps.size());
 
   std::map<std::uint64_t, ReplayRequestReport> requests;
@@ -236,6 +239,7 @@ ReplayReport replay_trace(const DeviceConfig& device,
       report.weight_leak_j += sr.totals.weight_leak_j;
       report.act_leak_j += sr.totals.act_leak_j;
       report.dram_bytes += sr.dram_bytes;
+      report.total_macs += sr.totals.total_macs;
       if (sr.dram_bound) ++report.dram_bound_steps;
       for (std::size_t j = 0; j < sr.seqs.size(); ++j) {
         const SeqStepCost& cost = sr.seqs[j];
@@ -279,6 +283,9 @@ std::string ReplayReport::to_json() const {
       << ", \"energy_per_token_j\": " << fmt(energy_per_token_j()) << ",\n"
       << " \"dram_bytes\": " << fmt(dram_bytes)
       << ", \"dram_bound_steps\": " << dram_bound_steps << ",\n"
+      << " \"core_area_mm2\": " << fmt(core_area_mm2)
+      << ", \"total_macs\": " << total_macs
+      << ", \"tops_per_watt\": " << fmt(tops_per_watt()) << ",\n"
       << " \"energy_breakdown\": {\"core_j\": " << fmt(core_energy_j)
       << ", \"mem_access_j\": " << fmt(mem_access_j)
       << ", \"weight_leak_j\": " << fmt(weight_leak_j)
@@ -322,7 +329,10 @@ void ReplayReport::export_metrics(MetricsRegistry& registry,
   registry.counter(prefix + ".tokens_committed").add(tokens_committed);
   registry.counter(prefix + ".dram_bound_steps").add(dram_bound_steps);
   registry.counter(prefix + ".dropped_steps").add(dropped_steps);
+  registry.counter(prefix + ".total_macs").add(total_macs);
   registry.gauge(prefix + ".latency_s").set(latency_s);
+  registry.gauge(prefix + ".core_area_mm2").set(core_area_mm2);
+  registry.gauge(prefix + ".tops_per_watt").set(tops_per_watt());
   registry.gauge(prefix + ".energy_j").set(energy_j);
   registry.gauge(prefix + ".energy_per_token_j").set(energy_per_token_j());
   registry.gauge(prefix + ".dram_bytes").set(dram_bytes);

@@ -70,6 +70,10 @@ struct TraceStep {
   std::uint64_t step = 0;
   std::size_t batch = 0;
   std::size_t rows = 0;  // rows fed, per the kStep record
+  /// Measured host wall time of the step (the kStep record's dur_us).
+  /// Replay itself ignores it per the contract above; the drift auditor
+  /// (accel/drift.h) joins it against the device model's prediction.
+  std::uint64_t dur_us = 0;
   std::vector<TracePass> passes;
 };
 
@@ -138,6 +142,11 @@ struct ReplayReport {
   double prefix_saved_j = 0.0;
   double spec_saved_j = 0.0;
   std::size_t dram_bound_steps = 0;
+  /// Compute-core area of the replayed device (device_core_area_mm2) and
+  /// the total MAC count of the replayed run — the inputs to the
+  /// TOPS-per-watt roll-up below.
+  double core_area_mm2 = 0.0;
+  std::size_t total_macs = 0;
   std::vector<ReplayStepSummary> steps;
   std::vector<ReplayRequestReport> requests;  // ascending request id
 
@@ -147,15 +156,24 @@ struct ReplayReport {
                : energy_j / static_cast<double>(tokens_committed);
   }
 
+  /// Run-level efficiency: tera-ops (2 ops per MAC) per joule — the
+  /// conventional TOPS/W accelerator headline. 0 before any energy accrues.
+  [[nodiscard]] double tops_per_watt() const {
+    return energy_j == 0.0
+               ? 0.0
+               : 2.0 * static_cast<double>(total_macs) / energy_j / 1e12;
+  }
+
   /// Deterministic JSON (17-significant-digit doubles): run totals, energy
   /// breakdown, saved-energy attribution, per_step[], per_request[].
   [[nodiscard]] std::string to_json() const;
 
   /// Binds the run totals into `registry` under the repo's dotted naming
   /// scheme: <prefix>.steps, .rows_fed, .tokens_committed,
-  /// .dram_bound_steps, .dropped_steps (counters); <prefix>.latency_s,
-  /// .energy_j, .energy_per_token_j, .dram_bytes, .prefix_saved_j,
-  /// .spec_saved_j (gauges).
+  /// .dram_bound_steps, .dropped_steps, .total_macs (counters);
+  /// <prefix>.latency_s, .energy_j, .energy_per_token_j, .dram_bytes,
+  /// .prefix_saved_j, .spec_saved_j, .core_area_mm2, .tops_per_watt
+  /// (gauges).
   void export_metrics(MetricsRegistry& registry,
                       const std::string& prefix = "hw_replay") const;
 };

@@ -202,6 +202,10 @@ void set_force_scalar_kernels(bool force) {
   g_active.store(table, std::memory_order_release);
 }
 
+void set_active_kernels(const KernelOps* table) {
+  g_active.store(table, std::memory_order_release);
+}
+
 bool force_gather_attend() {
   return g_force_gather_attend.load(std::memory_order_acquire);
 }

@@ -152,6 +152,13 @@ struct KernelOps {
 /// kernel use (flip it between runs, not during one).
 void set_force_scalar_kernels(bool force);
 
+/// Installs `table` as the active dispatch target, bypassing the resolve
+/// chain entirely — the interposition hook KernelProfiler uses to swap in
+/// its timing wrapper. Passing nullptr drops back to lazy re-resolution
+/// (env switch, CPU probe, scalar fallback) on the next kernels() call.
+/// Same thread-safety contract as set_force_scalar_kernels.
+void set_active_kernels(const KernelOps* table);
+
 /// True when the attend path should read quantized KV through the gather
 /// scratch (the pre-fusion reference) instead of the fused dequantize
 /// kernels. Default off; tests/benches flip it with

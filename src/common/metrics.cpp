@@ -203,13 +203,33 @@ void append_number(std::string& out, double v, const char* format) {
 
 std::string MetricsRegistry::Snapshot::to_prometheus() const {
   std::string out;
+  // Sanitization can collide distinct dotted names onto one Prometheus
+  // family name ("a.b_c" and "a_b.c" both become "a_b_c"), and exposing one
+  // family twice is a format violation scrapers reject. First registration
+  // wins; later collisions are skipped. Counter families claim their
+  // "_total"-suffixed name, which is the name scrapers see.
+  std::vector<std::string> claimed;
+  auto claim = [&claimed](const std::string& name) {
+    for (const std::string& c : claimed) {
+      if (c == name) return false;
+    }
+    claimed.push_back(name);
+    return true;
+  };
+  auto help = [](const std::string& name, std::string_view dotted) {
+    return "# HELP " + name + " OPAL metric " + std::string(dotted) + "\n";
+  };
   for (const CounterValue& c : counters) {
     const std::string name = prometheus_name(c.name) + "_total";
+    if (!claim(name)) continue;
+    out += help(name, c.name);
     out += "# TYPE " + name + " counter\n";
     out += name + " " + std::to_string(c.value) + "\n";
   }
   for (const GaugeValue& g : gauges) {
     const std::string name = prometheus_name(g.name);
+    if (!claim(name)) continue;
+    out += help(name, g.name);
     out += "# TYPE " + name + " gauge\n";
     out += name + " ";
     append_number(out, g.value, "%.17g");
@@ -217,6 +237,8 @@ std::string MetricsRegistry::Snapshot::to_prometheus() const {
   }
   for (const HistogramValue& h : histograms) {
     const std::string name = prometheus_name(h.name);
+    if (!claim(name)) continue;
+    out += help(name, h.name);
     out += "# TYPE " + name + " histogram\n";
     // Prometheus buckets are CUMULATIVE: each le bound counts every
     // observation <= it, and le="+Inf" equals the total count.

@@ -116,7 +116,12 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
         << ", \"b\": " << e.b << ", \"c\": " << e.c << ", \"d\": " << e.d
         << "}}";
   }
-  out << "\n]}\n";
+  // Ring-loss accounting as Chrome's free-form metadata block, so a viewer
+  // (or a consumer script) can tell a complete capture from a truncated
+  // one without the step-trace export.
+  out << "\n], \"otherData\": {\"truncated_events\": " << truncated_
+      << ", \"dropped_steps\": " << dropped_steps_
+      << ", \"total_emitted\": " << total_ << "}}\n";
 }
 
 void Tracer::write_step_trace(std::ostream& out) const {

@@ -5,6 +5,7 @@
 
 #include "common/bfloat16.h"
 #include "common/float_bits.h"
+#include "common/kernel_profiler.h"
 #include "common/kernels.h"
 #include "llm/sequence_state.h"
 #include "softmax/softmax.h"
@@ -305,50 +306,70 @@ void PreparedModel::forward_token_layer(std::size_t l, SequenceState& seq,
   std::span<float> v = seq.v_;
   std::span<float> z = seq.z_;
   std::span<float> hidden = seq.hidden_;
+  // Phase attribution (nullptr slot — the common case — makes every scope a
+  // no-op). The scopes wrap the existing statements without reordering or
+  // touching data, so the output bits are unchanged.
+  KernelProfile* prof = KernelProfiler::slot();
 
   // --- Attention block (Fig 5(c)) ---
-  layer.attn_norm->apply(x, h);
-  maybe_record(RecordSite::kAttnIn, h);
-  maybe_quantize(ActivationSite::kPostLayerNorm, h);
+  {
+    PhaseScope phase(prof, LayerPhase::kNorm, l);
+    layer.attn_norm->apply(x, h);
+    maybe_record(RecordSite::kAttnIn, h);
+    maybe_quantize(ActivationSite::kPostLayerNorm, h);
+  }
 
-  matvec(layer.wq, h, q);
-  matvec(layer.wk, h, k);
-  matvec(layer.wv, h, v);
-  maybe_record(RecordSite::kQuery, q);
-  maybe_record(RecordSite::kKey, k);
-  maybe_record(RecordSite::kValue, v);
-  // Q, K enter Q.K^T and V enters Attn.V at the high bit-width.
-  maybe_quantize(ActivationSite::kAttentionInput, q);
-  maybe_quantize(ActivationSite::kAttentionInput, k);
-  maybe_quantize(ActivationSite::kAttentionInput, v);
-  seq.write_kv_at(l, pos, k, v);
+  {
+    PhaseScope phase(prof, LayerPhase::kQkv, l);
+    matvec(layer.wq, h, q);
+    matvec(layer.wk, h, k);
+    matvec(layer.wv, h, v);
+    maybe_record(RecordSite::kQuery, q);
+    maybe_record(RecordSite::kKey, k);
+    maybe_record(RecordSite::kValue, v);
+    // Q, K enter Q.K^T and V enters Attn.V at the high bit-width.
+    maybe_quantize(ActivationSite::kAttentionInput, q);
+    maybe_quantize(ActivationSite::kAttentionInput, k);
+    maybe_quantize(ActivationSite::kAttentionInput, v);
+    seq.write_kv_at(l, pos, k, v);
+  }
 
-  attend(l, seq, q, z, pos + 1);
-  maybe_record(RecordSite::kProjIn, z);
-  maybe_quantize(ActivationSite::kGeneral, z);
+  {
+    PhaseScope phase(prof, LayerPhase::kAttend, l);
+    attend(l, seq, q, z, pos + 1);
+    maybe_record(RecordSite::kProjIn, z);
+    maybe_quantize(ActivationSite::kGeneral, z);
 
-  const std::span<float> attn_out = seq.attn_out_;
-  matvec(layer.wo, z, attn_out);
-  kernels().axpy(1.0f, attn_out.data(), x.data(), x.size());
+    const std::span<float> attn_out = seq.attn_out_;
+    matvec(layer.wo, z, attn_out);
+    kernels().axpy(1.0f, attn_out.data(), x.data(), x.size());
+  }
 
   // --- FFN block (Fig 5(b)) ---
-  layer.ffn_norm->apply(x, h);
-  maybe_record(RecordSite::kFc1In, h);
-  maybe_quantize(ActivationSite::kPostLayerNorm, h);
+  {
+    PhaseScope phase(prof, LayerPhase::kNorm, l);
+    layer.ffn_norm->apply(x, h);
+    maybe_record(RecordSite::kFc1In, h);
+    maybe_quantize(ActivationSite::kPostLayerNorm, h);
+  }
 
-  matvec(layer.w_fc1, h, hidden);
-  apply_activation(model_->config().activation, hidden);
-  maybe_record(RecordSite::kFc2In, hidden);
-  maybe_quantize(ActivationSite::kGeneral, hidden);
+  {
+    PhaseScope phase(prof, LayerPhase::kFfn, l);
+    matvec(layer.w_fc1, h, hidden);
+    apply_activation(model_->config().activation, hidden);
+    maybe_record(RecordSite::kFc2In, hidden);
+    maybe_quantize(ActivationSite::kGeneral, hidden);
 
-  const std::span<float> ffn_out = seq.ffn_out_;
-  matvec(layer.w_fc2, hidden, ffn_out);
-  kernels().axpy(1.0f, ffn_out.data(), x.data(), x.size());
+    const std::span<float> ffn_out = seq.ffn_out_;
+    matvec(layer.w_fc2, hidden, ffn_out);
+    kernels().axpy(1.0f, ffn_out.data(), x.data(), x.size());
+  }
 }
 
 void PreparedModel::finish_logits(SequenceState& seq,
                                   std::span<const float> x,
                                   std::span<float> out) const {
+  PhaseScope phase(KernelProfiler::slot(), LayerPhase::kLogits);
   final_norm_->apply(x, seq.h_);
   // Tied embedding head: logit[v] = E[v,:] . h.
   matvec(model_->embedding(), seq.h_, out);

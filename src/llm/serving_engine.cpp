@@ -104,6 +104,27 @@ ServingEngine::ServingEngine(std::shared_ptr<const PreparedModel> model,
   scheduler_->bind_metrics(registry_);
   kv_pool_->bind_metrics(registry_);
   if (prefix_cache_ != nullptr) prefix_cache_->bind_metrics(registry_);
+  // Kernel/layer profiling: installs the timing wrapper over the dispatch
+  // table for this engine's lifetime and registers the profile.* counters.
+  // Off (the common case) none of this happens — the dispatch table and the
+  // registry shape are exactly the silent engine's.
+  profiling_ = config_.profile || KernelProfiler::env_enabled();
+  if (profiling_) {
+    KernelProfiler::enable();
+    for (std::size_t k = 0; k < kKernelKindCount; ++k) {
+      const std::string base =
+          "profile.kernel." + to_string(static_cast<KernelKind>(k));
+      pm_.kernel_calls[k] = &registry_.counter(base + ".calls");
+      pm_.kernel_elems[k] = &registry_.counter(base + ".elems");
+      pm_.kernel_ns[k] = &registry_.counter(base + ".ns");
+    }
+    for (std::size_t p = 0; p < kLayerPhaseCount; ++p) {
+      const std::string base =
+          "profile.phase." + to_string(static_cast<LayerPhase>(p));
+      pm_.phase_calls[p] = &registry_.counter(base + ".calls");
+      pm_.phase_ns[p] = &registry_.counter(base + ".ns");
+    }
+  }
   // KV bytes one fed row writes: K and V, every layer, at the mode's width.
   kv_row_bytes_ =
       2 * mcfg.n_layers * mcfg.d_model * kv_bits_per_entry(ecfg.kv_mode) / 8;
@@ -116,6 +137,7 @@ ServingEngine::ServingEngine(const PreparedModel& model, ServingConfig config)
           std::move(config)) {}
 
 ServingEngine::~ServingEngine() {
+  if (profiling_) KernelProfiler::disable();
   if (prefix_cache_ != nullptr) kv_pool_->unregister_reclaimer(this);
   // A shared pool/scheduler can outlive this engine's registry: sever
   // their bindings (no-ops when a sibling engine bound after us).
@@ -667,6 +689,12 @@ std::size_t ServingEngine::step() {
   }
   decode_end_us_.resize(batch_.size());
   decode_dur_us_.resize(batch_.size());
+  if (profiling_) {
+    // Per-slot profiling scratch, cleared in place (capacity is retained,
+    // so steady-state steps allocate nothing).
+    profile_slots_.resize(batch_.size());
+    for (KernelProfile& slot : profile_slots_) slot.clear();
+  }
 
   // Parallel phase: decode each sequence's budget — one token through
   // step(), a multi-token chunk through prefill_chunk() (bitwise identical
@@ -679,7 +707,10 @@ std::size_t ServingEngine::step() {
     Sequence& seq = batch_[i];
     const std::size_t n = budgets_[i];
     // Per-slot timing into disjoint scratch slots: the registry itself is
-    // only touched later, on the serial phase.
+    // only touched later, on the serial phase. Profiling samples follow the
+    // same discipline: this thread's slot scratch is bound for exactly the
+    // model pass, merged serially below.
+    if (profiling_) KernelProfiler::bind_slot(&profile_slots_[i]);
     const std::uint64_t t0 = trace_.now_us();
     if (!seq.spec_drafts.empty() && n > 1) {
       model_->prefill_chunk(
@@ -693,11 +724,28 @@ std::size_t ServingEngine::step() {
     }
     decode_end_us_[i] = trace_.now_us();
     decode_dur_us_[i] = decode_end_us_[i] - t0;
+    if (profiling_) KernelProfiler::bind_slot(nullptr);
   };
   if (pool_ != nullptr) {
     pool_->parallel_for(batch_.size(), decode_one);
   } else {
     for (std::size_t i = 0; i < batch_.size(); ++i) decode_one(i);
+  }
+  if (profiling_) {
+    // Serial merge of the fan-out's per-slot samples: the run total and the
+    // profile.* counters advance only here, never off the serial phase.
+    for (const KernelProfile& slot : profile_slots_) {
+      profile_total_.merge(slot);
+      for (std::size_t k = 0; k < kKernelKindCount; ++k) {
+        pm_.kernel_calls[k]->add(slot.kernels[k].calls);
+        pm_.kernel_elems[k]->add(slot.kernels[k].elems);
+        pm_.kernel_ns[k]->add(slot.kernels[k].ns);
+      }
+      for (std::size_t p = 0; p < kLayerPhaseCount; ++p) {
+        pm_.phase_calls[p]->add(slot.phases[p].calls);
+        pm_.phase_ns[p]->add(slot.phases[p].ns);
+      }
+    }
   }
 
   // Serial bookkeeping, in slot order: advance fed counters and extend with

@@ -162,6 +162,7 @@
 // registry needs no synchronization (see metrics.h).
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -174,6 +175,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/kernel_profiler.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
@@ -287,6 +289,16 @@ struct ServingConfig {
   /// positive integer) overrides this, so a long SLO run can be sized to
   /// lose nothing without recompiling.
   std::size_t trace_capacity = 1 << 16;
+  /// Kernel/layer profiling (see common/kernel_profiler.h): swaps the
+  /// KernelOps dispatch table for a timing wrapper that delegates to the
+  /// real table, accumulating per-kernel-kind call/element/wall-clock
+  /// counts and per-layer phase timings (ServingEngine::profile(), plus
+  /// profile.* counters in the metrics registry). The OPAL_PROFILE
+  /// environment variable (non-empty, not "0") force-enables it. Off (the
+  /// default), the wrapper is not installed — the hot path is untouched.
+  /// The wrapper calls the underlying kernels with unchanged arguments, so
+  /// profiled runs are bitwise identical in every kv_mode.
+  bool profile = false;
 };
 
 class ServingEngine {
@@ -443,6 +455,17 @@ class ServingEngine {
   /// Tracer::write_chrome_trace / write_step_trace.
   [[nodiscard]] Tracer& tracer() { return trace_; }
   [[nodiscard]] const Tracer& tracer() const { return trace_; }
+
+  /// True when this engine profiles its kernel dispatch
+  /// (ServingConfig::profile or OPAL_PROFILE).
+  [[nodiscard]] bool profiling() const { return profiling_; }
+  /// The run's accumulated kernel/layer profile: per-kernel-kind
+  /// call/element/wall-clock counts and per-layer phase timings, merged
+  /// serially from the decode fan-out's per-slot scratch each step. All
+  /// zero unless profiling(). Serial-phase only, like stats().
+  [[nodiscard]] const KernelProfile& profile() const {
+    return profile_total_;
+  }
 
   /// The active scheduling policy (never null; FifoScheduler by default).
   [[nodiscard]] const Scheduler& scheduler() const { return *scheduler_; }
@@ -665,6 +688,21 @@ class ServingEngine {
     Histogram* spec_verify_ms = nullptr;
   };
   EngineMetrics em_;
+  /// profile.* counter handles, registered (and non-null) only while
+  /// profiling_ — silent engines' registries keep their exact shape.
+  struct ProfileMetrics {
+    std::array<Counter*, kKernelKindCount> kernel_calls{};
+    std::array<Counter*, kKernelKindCount> kernel_elems{};
+    std::array<Counter*, kKernelKindCount> kernel_ns{};
+    std::array<Counter*, kLayerPhaseCount> phase_calls{};
+    std::array<Counter*, kLayerPhaseCount> phase_ns{};
+  };
+  ProfileMetrics pm_;
+  bool profiling_ = false;
+  /// Per-slot profiling scratch (parallel decode phase, disjoint indices)
+  /// and the serial-phase run total the slots merge into.
+  std::vector<KernelProfile> profile_slots_;
+  KernelProfile profile_total_;
   std::size_t kv_row_bytes_ = 0;  // KV bytes one fed row writes (all layers)
   // Per-slot timing scratch: written by the parallel decode phase (distinct
   // indices per slot), observed into histograms serially — the registry

@@ -314,6 +314,57 @@ TEST(Registry, PrometheusExposition) {
   EXPECT_NE(text.find("lat_ms_sum 506."), std::string::npos);
 }
 
+TEST(Registry, PrometheusHelpLinesAndDuplicateGuard) {
+  MetricsRegistry reg;
+  reg.counter("serving.steps").add(7);
+  reg.gauge("serving.running").set(3.0);
+  // Sanitization collides these two distinct dotted names onto the single
+  // family "drift_run_ratio"; exposing it twice is a format violation, so
+  // the first registration wins and the collision is dropped.
+  reg.gauge("drift.run_ratio").set(1.5);
+  reg.gauge("drift_run.ratio").set(9.9);
+  const std::string text = reg.snapshot().to_prometheus();
+  // Every surviving family leads with a # HELP naming the dotted original.
+  EXPECT_NE(text.find("# HELP serving_steps_total OPAL metric "
+                      "serving.steps\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP serving_running OPAL metric "
+                      "serving.running\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP drift_run_ratio OPAL metric "
+                      "drift.run_ratio\n"),
+            std::string::npos);
+  // One family, one TYPE line, first writer's value.
+  std::size_t n = 0;
+  for (std::size_t at = text.find("# TYPE drift_run_ratio gauge");
+       at != std::string::npos;
+       at = text.find("# TYPE drift_run_ratio gauge", at + 1)) {
+    ++n;
+  }
+  EXPECT_EQ(n, 1u);
+  EXPECT_NE(text.find("drift_run_ratio 1.5"), std::string::npos);
+  EXPECT_EQ(text.find("9.9"), std::string::npos);
+}
+
+TEST(Trace, ChromeExportCarriesRingLossMetadata) {
+  Tracer t(true, 2);
+  t.emit({.kind = TraceEventKind::kStep, .step = 1});
+  std::ostringstream clean;
+  t.write_chrome_trace(clean);
+  EXPECT_NE(clean.str().find("\"otherData\": {\"truncated_events\": 0, "
+                             "\"dropped_steps\": 0, \"total_emitted\": 1}"),
+            std::string::npos);
+  // Overflow the 2-slot ring: the overwritten kStep surfaces in the
+  // metadata block exactly as the step-trace header reports it.
+  t.emit({.kind = TraceEventKind::kDecode, .step = 2, .request = 1, .a = 1});
+  t.emit({.kind = TraceEventKind::kStep, .step = 2, .a = 1});
+  std::ostringstream lossy;
+  t.write_chrome_trace(lossy);
+  EXPECT_NE(lossy.str().find("\"otherData\": {\"truncated_events\": 1, "
+                             "\"dropped_steps\": 1, \"total_emitted\": 3}"),
+            std::string::npos);
+}
+
 TEST(Trace, ToStringCoversEveryKind) {
   EXPECT_EQ(to_string(TraceEventKind::kEnqueue), "enqueue");
   EXPECT_EQ(to_string(TraceEventKind::kAdmit), "admit");
